@@ -1,0 +1,20 @@
+"""Paper Fig. 1(a): catastrophic forgetting of the unprotected baseline.
+
+The baseline network (no NCL capability) fine-tunes on the new class;
+old-task Top-1 accuracy collapses while the new task is learned.
+"""
+
+from repro.eval import experiments
+
+
+def test_fig1a_catastrophic_forgetting(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: experiments.run("fig1a", scale=bench_scale), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    # Paper shape: the accuracy for old knowledge is significantly
+    # dropped as the network learns new knowledge.
+    assert result.scalars["accuracy_drop"] > 0.2
+    new_curve = result.get_series("new-task").y
+    assert new_curve[-1] >= 0.75  # the new task is actually learned

@@ -1,0 +1,21 @@
+"""Paper Fig. 2: the motivating case study.
+
+(a) SpikingLR's latency/energy overheads vs the no-NCL baseline across
+LR insertion layers; (b) accuracy degradation under aggressive timestep
+reduction (the paper's 100 -> 20).
+"""
+
+from repro.eval import experiments
+
+
+def test_fig2_spikinglr_overheads_and_reduction(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: experiments.run("fig2", scale=bench_scale), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    # Paper shape: SpikingLR costs a multiple of the baseline (Fig. 2a).
+    assert result.scalars["max_latency_overhead"] > 1.5
+    assert result.scalars["max_energy_overhead"] > 1.5
+    # Paper shape: aggressive reduction degrades old-task accuracy (2b).
+    assert result.scalars["accuracy_drop_from_reduction"] > 0.0

@@ -1,0 +1,26 @@
+"""Paper Fig. 8: the timestep-optimization case study (Observations A-C).
+
+Replay at 100% / 60% / 40% / 20% of the pre-training timesteps, without
+parameter adjustments: accuracy holds down to ~40% and drops at 20%
+(A, B), while latency falls monotonically with the timestep (C).
+"""
+
+from repro.eval import experiments
+
+
+def test_fig8_timestep_sweep(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: experiments.run("fig8", scale=bench_scale), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    old_acc = result.get_series("final-old-acc").y
+    latency = result.get_series("latency-normalized").y
+
+    # Observation A: the most aggressive setting loses old-task accuracy.
+    assert old_acc[-1] < old_acc[0]
+    # Observation B: the 40% setting stays close to the full setting.
+    assert old_acc[2] >= old_acc[0] - 0.05
+    # Observation C: latency decreases monotonically with the timestep.
+    assert all(a >= b for a, b in zip(latency, latency[1:]))
+    assert latency[-1] < 0.5  # 20% timesteps cost well under half

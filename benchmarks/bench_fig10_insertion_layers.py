@@ -1,0 +1,39 @@
+"""Paper Fig. 10: SpikingLR vs Replay4NCL across LR insertion layers.
+
+(a) Top-1 accuracy on old and new tasks (comparable, marker 1);
+(b) processing time normalized to SOTA at layer 0 (up to 2.34x speed-up,
+marker 2); (c) energy normalized likewise (up to 56.7% saving, marker 3).
+"""
+
+from repro.eval import experiments
+
+
+def test_fig10_insertion_layer_grid(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: experiments.run("fig10", scale=bench_scale), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    sota_old = result.get_series("spikinglr-old").y
+    ours_old = result.get_series("replay4ncl-old").y
+    ours_new = result.get_series("replay4ncl-new").y
+    sota_latency = result.get_series("spikinglr-latency").y
+    ours_latency = result.get_series("replay4ncl-latency").y
+    sota_energy = result.get_series("spikinglr-energy").y
+    ours_energy = result.get_series("replay4ncl-energy").y
+
+    # Marker 1: comparable accuracy on old tasks at every layer, and the
+    # new task is learned.
+    for sota, ours in zip(sota_old, ours_old):
+        assert ours >= sota - 0.15
+    assert min(ours_new) >= 0.5
+
+    # Marker 2: Replay4NCL is faster at every insertion layer.
+    for sota, ours in zip(sota_latency, ours_latency):
+        assert ours < sota
+    assert result.scalars["max_latency_speedup"] > 1.8
+
+    # Marker 3: energy savings at every layer, peaking near the paper's.
+    for sota, ours in zip(sota_energy, ours_energy):
+        assert ours < sota
+    assert result.scalars["max_energy_saving"] > 0.35

@@ -1,0 +1,29 @@
+"""Paper Fig. 11: epoch profiles at the headline LR insertion layer.
+
+(a) Old-task accuracy vs epoch (marker 4: 90.43% vs 86.22% in the
+paper); (b) cumulative processing time at epoch checkpoints normalized
+to SOTA at the first checkpoint (marker 5 / headline 4.88x incl.
+convergence); (c) cumulative energy (marker 6 / headline 36.43%).
+"""
+
+from repro.eval import experiments
+
+
+def test_fig11_epoch_profiles(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: experiments.run("fig11", scale=bench_scale), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    # Marker 4: comparable old-task accuracy at reduced timesteps.
+    assert result.scalars["replay4ncl_final_old_acc"] >= (
+        result.scalars["spikinglr_final_old_acc"] - 0.15
+    )
+    # Marker 5: every Replay4NCL checkpoint is cheaper than SpikingLR's.
+    sota_lat = result.get_series("spikinglr-cumulative-latency").y
+    ours_lat = result.get_series("replay4ncl-cumulative-latency").y
+    for sota, ours in zip(sota_lat, ours_lat):
+        assert ours < sota
+    assert result.scalars["per_epoch_latency_speedup"] > 1.8
+    # Marker 6: energy saving in the paper's band.
+    assert result.scalars["energy_saving"] > 0.3

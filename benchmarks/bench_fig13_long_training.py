@@ -1,0 +1,24 @@
+"""Paper Fig. 13: long-training convergence (3x the usual epochs).
+
+Replay4NCL's much lower NCL learning rate gives more careful weight
+updates: a smoother new-task accuracy curve with equal-or-better final
+accuracy (marker 7).
+"""
+
+from repro.eval import experiments
+
+
+def test_fig13_long_training(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: experiments.run("fig13", scale=bench_scale), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    # Marker 7: Replay4NCL converges (final accuracy comparable or
+    # better) and its curve is at least as smooth as SpikingLR's.
+    assert result.scalars["replay4ncl_final_new_acc"] >= (
+        result.scalars["spikinglr_final_new_acc"] - 0.1
+    )
+    assert result.scalars["replay4ncl_curve_roughness"] <= (
+        result.scalars["spikinglr_curve_roughness"] + 0.05
+    )

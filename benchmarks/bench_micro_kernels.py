@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the library's hot paths (wall-clock).
+
+These are conventional pytest-benchmark timings (many rounds) of the
+kernels the figure experiments are built from: the SNN forward pass at
+the paper's two timestep settings, the BPTT training step, and the
+Fig. 7 codec.  They exist so regressions in the substrate show up
+independently of the (analytically-modelled) paper metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import cross_entropy
+from repro.compression import BitpackCodec, TemporalSubsampleCodec
+from repro.config import NetworkConfig
+from repro.snn import SpikingNetwork
+from repro.training import Adam
+
+
+@pytest.fixture(scope="module")
+def network():
+    return SpikingNetwork(
+        NetworkConfig(layer_sizes=(140, 64, 48, 32, 10), beta=0.95), seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def _raster(rng, timesteps, batch=8, channels=140):
+    return (rng.random((timesteps, batch, channels)) < 0.05).astype(np.float32)
+
+
+def test_forward_t100(benchmark, network, rng):
+    x = _raster(rng, 100)
+    network.set_trainable(False)
+    benchmark(lambda: network.forward(x))
+    network.set_trainable(True)
+
+
+def test_forward_t40(benchmark, network, rng):
+    x = _raster(rng, 40)
+    network.set_trainable(False)
+    benchmark(lambda: network.forward(x))
+    network.set_trainable(True)
+
+
+def test_bptt_training_step_t40(benchmark, network, rng):
+    x = _raster(rng, 40)
+    labels = rng.integers(0, 10, 8)
+    optimizer = Adam(network.trainable_parameters(), learning_rate=1e-4)
+
+    def step():
+        result = network.forward(x)
+        loss = cross_entropy(result.logits, labels)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+    benchmark(step)
+
+
+def test_subsample_codec_roundtrip(benchmark, rng):
+    raster = (rng.random((100, 64, 64)) < 0.1).astype(np.float32)
+    codec = TemporalSubsampleCodec(2)
+    benchmark(lambda: codec.decompress(codec.compress(raster), 100))
+
+
+def test_bitpack_roundtrip(benchmark, rng):
+    raster = (rng.random((100, 64, 64)) < 0.1).astype(np.float32)
+    codec = BitpackCodec()
+
+    def roundtrip():
+        packed, shape = codec.compress(raster)
+        return codec.decompress(packed, shape)
+
+    benchmark(roundtrip)

@@ -1,0 +1,49 @@
+"""Benchmark-harness plumbing.
+
+Every bench reproduces one paper figure/table via
+:func:`repro.eval.experiments.run`.  Results are written to
+``benchmarks/results/<id>.{json,csv,txt}`` and echoed into the terminal
+summary (stdout inside tests is captured by pytest; the summary hook is
+not).
+
+Scale is ``bench`` by default; set ``REPRO_BENCH_SCALE=ci`` for a quick
+smoke pass or ``=paper`` for the full configuration (CPU-hours).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_SUMMARIES: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Persist an ExperimentResult and queue its text for the summary."""
+
+    def _record(result):
+        result.save(_RESULTS_DIR)
+        text = result.format_text()
+        (_RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        _SUMMARIES.append(text)
+        return result
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _SUMMARIES:
+        return
+    terminalreporter.write_sep("=", "paper figure reproductions")
+    for text in _SUMMARIES:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")

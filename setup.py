@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so
+the package can be installed in environments without the ``wheel``
+package (PEP 517 editable installs require it), via::
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""A small reverse-mode automatic-differentiation engine over numpy.
+
+This package is the training substrate for the whole library: the paper
+trains recurrent spiking networks with surrogate-gradient BPTT on PyTorch;
+this environment has no PyTorch, so we implement the same math from
+scratch.  The engine is tape-based: every operation on a
+:class:`~repro.autograd.tensor.Tensor` records its parents and a
+vector-Jacobian product, and :meth:`Tensor.backward` replays the tape in
+reverse topological order.
+
+Public surface
+--------------
+- :class:`Tensor` — the differentiable array type.
+- :func:`tensor` / :func:`zeros` / :func:`ones` / :func:`randn` — creation.
+- :mod:`repro.autograd.functional` — softmax, cross-entropy, sigmoid, ...
+- :mod:`repro.autograd.surrogate` — the Heaviside spike op whose backward
+  pass is a surrogate gradient (fast-sigmoid by default, as in the paper).
+- :func:`gradcheck` — numerical verification used by the test-suite.
+- :func:`no_grad` — context manager disabling tape recording.
+"""
+
+from repro.autograd.tensor import (
+    Tensor,
+    concat,
+    is_grad_enabled,
+    maximum,
+    no_grad,
+    ones,
+    randn,
+    stack,
+    tensor,
+    where,
+    zeros,
+)
+from repro.autograd import functional
+from repro.autograd.functional import (
+    cross_entropy,
+    log_softmax,
+    mse_loss,
+    one_hot,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from repro.autograd.surrogate import (
+    SurrogateSpec,
+    atan_surrogate,
+    boxcar_surrogate,
+    fast_sigmoid_surrogate,
+    spike,
+    straight_through_surrogate,
+)
+from repro.autograd.gradcheck import gradcheck
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "stack",
+    "concat",
+    "where",
+    "maximum",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "sigmoid",
+    "tanh",
+    "relu",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "mse_loss",
+    "one_hot",
+    "SurrogateSpec",
+    "spike",
+    "fast_sigmoid_surrogate",
+    "atan_surrogate",
+    "boxcar_surrogate",
+    "straight_through_surrogate",
+    "gradcheck",
+]

@@ -1,0 +1,576 @@
+"""The :class:`Tensor` type: a numpy array with a reverse-mode tape.
+
+Design notes
+------------
+The engine is deliberately small and explicit.  A ``Tensor`` wraps an
+``np.ndarray`` (float32 by default).  Operations that participate in
+differentiation construct their result via :func:`_make_from_op`, passing
+the parent tensors and one vector-Jacobian-product (VJP) callable per
+parent.  ``backward()`` topologically sorts the recorded graph and
+accumulates gradients.
+
+Broadcasting follows numpy semantics; gradients of broadcast operands are
+reduced back to the operand's shape by :func:`_unbroadcast`.
+
+Recording can be disabled globally with the :func:`no_grad` context
+manager, which the inference paths of the SNN library use so that frozen
+layers never build a tape.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GradientError, ShapeError
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "stack",
+    "concat",
+    "where",
+    "maximum",
+    "no_grad",
+    "is_grad_enabled",
+]
+
+DEFAULT_DTYPE = np.float32
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the backward tape."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables tape recording.
+
+    >>> x = tensor([1.0], requires_grad=True)
+    >>> with no_grad():
+    ...     y = x * 2
+    >>> y.requires_grad
+    False
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw array-like, got Tensor")
+    return np.asarray(value, dtype=dtype or DEFAULT_DTYPE)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so its shape matches the pre-broadcast ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading dimensions numpy added during broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were size-1 in the original operand.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A differentiable array.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``DEFAULT_DTYPE`` unless it is
+        already a floating ndarray.
+    requires_grad:
+        Whether gradients should flow into this tensor.  Ignored (treated
+        as False) inside a :func:`no_grad` block.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_vjps")
+
+    def __init__(self, data, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype not in (np.float32, np.float64):
+            arr = arr.astype(DEFAULT_DTYPE)
+        self.data: np.ndarray = arr
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self._vjps: tuple[Callable[[np.ndarray], np.ndarray], ...] = ()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._item_error()
+
+    @staticmethod
+    def _item_error():
+        raise ShapeError("item() requires a tensor with exactly one element")
+
+    def detach(self) -> "Tensor":
+        """Return a view of the data cut off from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a leaf tensor with copied data and the same grad flag."""
+        out = Tensor(self.data.copy())
+        out.requires_grad = self.requires_grad
+        return out
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Tape plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make_from_op(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        vjps: Sequence[Callable[[np.ndarray], np.ndarray]],
+    ) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            kept = [(p, v) for p, v in zip(parents, vjps) if p.requires_grad]
+            out._parents = tuple(p for p, _ in kept)
+            out._vjps = tuple(v for _, v in kept)
+        return out
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode accumulation from this tensor.
+
+        ``grad`` defaults to ones for scalar tensors; non-scalar roots
+        must pass an explicit upstream gradient.
+        """
+        if not self.requires_grad:
+            raise GradientError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise GradientError("backward() on non-scalar output requires an explicit gradient")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ShapeError(
+                f"upstream gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
+            )
+
+        order = self._topo_order()
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.grad is None:
+                node.grad = node_grad.copy()
+            else:
+                node.grad = node.grad + node_grad
+            for parent, vjp in zip(node._parents, node._vjps):
+                contribution = vjp(node_grad)
+                existing = grads.get(id(parent))
+                grads[id(parent)] = (
+                    contribution if existing is None else existing + contribution
+                )
+
+    def _topo_order(self) -> list["Tensor"]:
+        """Iterative post-order topological sort, reversed for backward."""
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(_as_array(other, self.dtype))
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data + other.data
+        return Tensor._make_from_op(
+            data,
+            (self, other),
+            (
+                lambda g, s=self.shape: _unbroadcast(g, s),
+                lambda g, s=other.shape: _unbroadcast(g, s),
+            ),
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data - other.data
+        return Tensor._make_from_op(
+            data,
+            (self, other),
+            (
+                lambda g, s=self.shape: _unbroadcast(g, s),
+                lambda g, s=other.shape: _unbroadcast(-g, s),
+            ),
+        )
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data * other.data
+        return Tensor._make_from_op(
+            data,
+            (self, other),
+            (
+                lambda g, o=other.data, s=self.shape: _unbroadcast(g * o, s),
+                lambda g, o=self.data, s=other.shape: _unbroadcast(g * o, s),
+            ),
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data / other.data
+        return Tensor._make_from_op(
+            data,
+            (self, other),
+            (
+                lambda g, o=other.data, s=self.shape: _unbroadcast(g / o, s),
+                lambda g, a=self.data, o=other.data, s=other.shape: _unbroadcast(
+                    -g * a / (o * o), s
+                ),
+            ),
+        )
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make_from_op(-self.data, (self,), (lambda g: -g,))
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log composition")
+        exponent = float(exponent)
+        data = self.data**exponent
+        return Tensor._make_from_op(
+            data,
+            (self,),
+            (lambda g, a=self.data, e=exponent: g * e * a ** (e - 1.0),),
+        )
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data @ other.data
+        a, b = self.data, other.data
+
+        def vjp_a(g, a=a, b=b, s=self.shape):
+            if b.ndim == 1:
+                # (..., n) @ (n,) -> (...); grad_a = outer(g, b)
+                return _unbroadcast(np.expand_dims(g, -1) * b, s)
+            grad = g @ np.swapaxes(b, -1, -2)
+            if a.ndim == 1:
+                grad = grad.reshape(a.shape) if grad.ndim == 1 else grad.sum(axis=tuple(range(grad.ndim - 1)))
+            return _unbroadcast(grad, s)
+
+        def vjp_b(g, a=a, b=b, s=other.shape):
+            if a.ndim == 1:
+                if b.ndim == 1:
+                    return _unbroadcast(g * a, s)
+                return _unbroadcast(np.outer(a, g), s)
+            if b.ndim == 1:
+                grad = np.swapaxes(a, -1, -2) @ np.expand_dims(g, -1)
+                grad = grad[..., 0]
+                if grad.ndim > 1:
+                    grad = grad.sum(axis=tuple(range(grad.ndim - 1)))
+                return _unbroadcast(grad, s)
+            return _unbroadcast(np.swapaxes(a, -1, -2) @ g, s)
+
+        return Tensor._make_from_op(data, (self, other), (vjp_a, vjp_b))
+
+    def __rmatmul__(self, other) -> "Tensor":
+        return self._coerce(other).__matmul__(self)
+
+    # ------------------------------------------------------------------
+    # Comparisons (non-differentiable; return plain bool arrays)
+    # ------------------------------------------------------------------
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __ge__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data >= other
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    def __le__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data <= other
+
+    # ------------------------------------------------------------------
+    # Unary math
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+        return Tensor._make_from_op(data, (self,), (lambda g, d=data: g * d,))
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+        return Tensor._make_from_op(data, (self,), (lambda g, a=self.data: g / a,))
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+        return Tensor._make_from_op(data, (self,), (lambda g, d=data: g / (2.0 * d),))
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+        return Tensor._make_from_op(
+            data, (self,), (lambda g, a=self.data: g * np.sign(a),)
+        )
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values; gradient is passed through inside the window."""
+        data = np.clip(self.data, low, high)
+        inside = ((self.data >= low) & (self.data <= high)).astype(self.data.dtype)
+        return Tensor._make_from_op(data, (self,), (lambda g, m=inside: g * m,))
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def vjp(g, shape=self.shape, axis=axis, keepdims=keepdims):
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            return np.broadcast_to(g, shape).copy()
+
+        return Tensor._make_from_op(np.asarray(data), (self,), (vjp,))
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = 1
+            for ax in axes:
+                count *= self.shape[ax]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum reduction; ties share the gradient equally."""
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def vjp(g, a=self.data, axis=axis, keepdims=keepdims):
+            expanded = data if keepdims or axis is None else np.expand_dims(data, axis)
+            mask = (a == expanded).astype(a.dtype)
+            counts = mask.sum(axis=axis, keepdims=True)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            return mask * (g / counts)
+
+        return Tensor._make_from_op(np.asarray(data), (self,), (vjp,))
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+        return Tensor._make_from_op(
+            data, (self,), (lambda g, s=self.shape: g.reshape(s),)
+        )
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = tuple(np.argsort(axes))
+        data = self.data.transpose(axes)
+        return Tensor._make_from_op(
+            data, (self,), (lambda g, inv=inverse: g.transpose(inv),)
+        )
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def vjp(g, shape=self.shape, index=index, dtype=self.data.dtype):
+            full = np.zeros(shape, dtype=dtype)
+            np.add.at(full, index, g)
+            return full
+
+        return Tensor._make_from_op(np.asarray(data), (self,), (vjp,))
+
+
+# ----------------------------------------------------------------------
+# Free functions
+# ----------------------------------------------------------------------
+
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Create a tensor from array-like data."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    """All-zeros tensor of ``shape``."""
+    return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    """All-ones tensor of ``shape``."""
+    return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def randn(shape, rng: np.random.Generator | None = None, requires_grad: bool = False) -> Tensor:
+    """Standard-normal tensor of ``shape`` drawn from ``rng``."""
+    rng = rng or np.random.default_rng()
+    return Tensor(
+        rng.standard_normal(shape).astype(DEFAULT_DTYPE), requires_grad=requires_grad
+    )
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis (differentiable)."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ShapeError("stack() requires at least one tensor")
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def make_vjp(i):
+        def vjp(g, i=i, axis=axis):
+            return np.take(g, i, axis=axis)
+
+        return vjp
+
+    return Tensor._make_from_op(
+        data, tuple(tensors), tuple(make_vjp(i) for i in range(len(tensors)))
+    )
+
+
+def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis (differentiable)."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ShapeError("concat() requires at least one tensor")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    offsets = np.cumsum([0] + [t.shape[axis] for t in tensors])
+
+    def make_vjp(i):
+        def vjp(g, i=i, axis=axis, offsets=offsets):
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            return g[tuple(slicer)]
+
+        return vjp
+
+    return Tensor._make_from_op(
+        data, tuple(tensors), tuple(make_vjp(i) for i in range(len(tensors)))
+    )
+
+
+def where(condition, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select; gradient routes to the selected operand."""
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    cond = cond.astype(bool)
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    data = np.where(cond, a.data, b.data)
+    return Tensor._make_from_op(
+        data,
+        (a, b),
+        (
+            lambda g, c=cond, s=a.shape: _unbroadcast(np.where(c, g, 0.0), s),
+            lambda g, c=cond, s=b.shape: _unbroadcast(np.where(c, 0.0, g), s),
+        ),
+    )
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise maximum; ties split the gradient equally."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    data = np.maximum(a.data, b.data)
+    a_wins = (a.data > b.data).astype(data.dtype)
+    ties = (a.data == b.data).astype(data.dtype) * 0.5
+    weight_a = a_wins + ties
+    weight_b = 1.0 - weight_a
+    return Tensor._make_from_op(
+        data,
+        (a, b),
+        (
+            lambda g, m=weight_a, s=a.shape: _unbroadcast(g * m, s),
+            lambda g, m=weight_b, s=b.shape: _unbroadcast(g * m, s),
+        ),
+    )

@@ -1,0 +1,117 @@
+"""Command-line interface: reproduce paper figures from the shell.
+
+Usage::
+
+    python -m repro list                      # figures and scales
+    python -m repro run fig11 --scale bench   # reproduce one figure
+    python -m repro run all --scale ci        # everything, quickly
+    python -m repro info                      # version + inventory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Replay4NCL (DAC 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments and scales")
+    sub.add_parser("info", help="print version and system inventory")
+
+    run = sub.add_parser("run", help="reproduce a paper figure/table")
+    run.add_argument("experiment", help="figure id (fig1a, fig2, ..., headline) or 'all'")
+    run.add_argument("--scale", default="bench", help="ci | bench | paper")
+    run.add_argument("--save-dir", default=None, help="write <id>.json/.csv here")
+    run.add_argument("--no-plot", action="store_true", help="omit ASCII plots")
+
+    compare = sub.add_parser(
+        "compare", help="paper-vs-measured table from saved benchmark results"
+    )
+    compare.add_argument(
+        "--results", default="benchmarks/results",
+        help="directory holding <figure>.json results",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.eval import experiments
+    from repro.eval.scale import SCALES, get_scale
+
+    print("experiments:")
+    for name in experiments.available_experiments():
+        print(f"  {name}")
+    print("scales:")
+    for name in sorted(SCALES):
+        print(f"  {get_scale(name).description}")
+    return 0
+
+
+def _cmd_info() -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — Replay4NCL (DAC 2025) reproduction")
+    print("packages: autograd, snn, data, compression, training, core, hw, eval")
+    print("see DESIGN.md for the system inventory and EXPERIMENTS.md for results")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.eval import experiments
+
+    if args.experiment == "all":
+        names = experiments.available_experiments()
+    else:
+        names = [args.experiment]
+    for name in names:
+        result = experiments.run(name, scale=args.scale)
+        print(result.format_text(plot=not args.no_plot))
+        print()
+        if args.save_dir:
+            json_path, csv_path = result.save(args.save_dir)
+            print(f"saved {json_path} and {csv_path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.eval.paper_targets import compare_to_paper, format_comparison
+
+    rows = compare_to_paper(args.results)
+    print(format_comparison(rows))
+    if all(row["measured"] is None for row in rows):
+        print(
+            f"\nno results found in {args.results!r} — run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "info":
+            return _cmd_info()
+        if args.command == "compare":
+            return _cmd_compare(args)
+        return _cmd_run(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Spike-train codecs for latent replay storage.
+
+Three codecs, all operating on binary time-major rasters:
+
+- :class:`TemporalSubsampleCodec` — the lossy compression/decompression
+  mechanism of paper Fig. 7 (adopted from SpikingLR): keep every k-th
+  frame; decompress by re-inserting the dropped frames as zeros.
+- :class:`BitpackCodec` — lossless 1 bit/cell packing; models the actual
+  storage format of binary latent activations and provides the byte
+  counts behind the latent-memory results (Fig. 12).
+- :class:`AddressEventCodec` — lossless sparse (t, channel) address-event
+  coding, the alternative storage layout for very sparse rasters.
+
+Size accounting for all codecs lives in :mod:`repro.compression.stats`.
+"""
+
+from repro.compression.bitpack import BitpackCodec
+from repro.compression.sparse import AddressEventCodec
+from repro.compression.stats import CodecStats, compare_codecs
+from repro.compression.subsample import TemporalSubsampleCodec
+
+__all__ = [
+    "TemporalSubsampleCodec",
+    "BitpackCodec",
+    "AddressEventCodec",
+    "CodecStats",
+    "compare_codecs",
+]

@@ -1,0 +1,56 @@
+"""Lossless 1-bit-per-cell packing of binary spike rasters.
+
+Latent replay data is binary, so the natural embedded storage format is a
+bitmap: ``T x C`` cells -> ``ceil(T*C / 8)`` bytes.  This codec both
+performs the packing (so round-trips are testable) and is the byte-count
+authority used by the latent-memory model (paper Fig. 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+__all__ = ["BitpackCodec"]
+
+
+class BitpackCodec:
+    """Pack/unpack binary rasters into uint8 bitmaps."""
+
+    def compress(self, raster: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
+        """Return ``(packed_bytes, original_shape)``.
+
+        Raises :class:`CodecError` if the raster is not binary — packing
+        anything else would silently corrupt data.
+        """
+        raster = np.asarray(raster)
+        if raster.size == 0:
+            raise CodecError("cannot pack an empty raster")
+        values = np.unique(raster)
+        if not np.all(np.isin(values, (0.0, 1.0))):
+            raise CodecError(f"raster must be binary, found values {values[:5]}")
+        packed = np.packbits(raster.astype(np.uint8).reshape(-1))
+        return packed, tuple(raster.shape)
+
+    def decompress(self, packed: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+        """Exact inverse of :meth:`compress`."""
+        size = int(np.prod(shape))
+        if packed.dtype != np.uint8:
+            raise CodecError(f"packed data must be uint8, got {packed.dtype}")
+        if packed.size * 8 < size:
+            raise CodecError(
+                f"packed buffer holds {packed.size * 8} bits < {size} required"
+            )
+        bits = np.unpackbits(packed)[:size]
+        return bits.reshape(shape).astype(np.float32)
+
+    def packed_bytes(self, shape: tuple[int, ...]) -> int:
+        """Storage bytes for a raster of ``shape`` (8 cells per byte)."""
+        size = int(np.prod(shape))
+        if size <= 0:
+            raise CodecError(f"shape must be non-empty, got {shape}")
+        return (size + 7) // 8
+
+    def __repr__(self) -> str:
+        return "BitpackCodec()"

@@ -1,0 +1,88 @@
+"""Lossless address-event (AER) coding of spike rasters.
+
+Stores each spike as a ``(timestep, channel)`` pair — the native format
+of neuromorphic sensors and a better layout than bitmaps when rasters are
+very sparse.  Provided for the codec-choice ablation; the crossover
+against :class:`BitpackCodec` sits at a density of
+``8 / (bytes per event * 8)`` spikes per cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+__all__ = ["AddressEventCodec"]
+
+
+class AddressEventCodec:
+    """Sparse (t, channel) event-list coding.
+
+    Parameters
+    ----------
+    time_bytes / channel_bytes:
+        Integer width used per coordinate; defaults hold T, C < 65536.
+    """
+
+    def __init__(self, time_bytes: int = 2, channel_bytes: int = 2):
+        if time_bytes <= 0 or channel_bytes <= 0:
+            raise CodecError("coordinate byte widths must be positive")
+        self.time_bytes = int(time_bytes)
+        self.channel_bytes = int(channel_bytes)
+
+    @property
+    def bytes_per_event(self) -> int:
+        return self.time_bytes + self.channel_bytes
+
+    def compress(
+        self, raster: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, tuple[int, ...]]:
+        """Return ``(times, flat_channels, original_shape)``.
+
+        The non-time axes are flattened into a single channel coordinate.
+        """
+        raster = np.asarray(raster)
+        if raster.ndim < 2:
+            raise CodecError(f"raster must be at least [T, C], got shape {raster.shape}")
+        values = np.unique(raster)
+        if not np.all(np.isin(values, (0.0, 1.0))):
+            raise CodecError("raster must be binary")
+        flat = raster.reshape(raster.shape[0], -1)
+        limit_t = 256**self.time_bytes
+        limit_c = 256**self.channel_bytes
+        if flat.shape[0] > limit_t or flat.shape[1] > limit_c:
+            raise CodecError(
+                f"raster {flat.shape} exceeds coordinate range "
+                f"({limit_t} x {limit_c})"
+            )
+        t_idx, c_idx = np.nonzero(flat)
+        return t_idx.astype(np.uint32), c_idx.astype(np.uint32), tuple(raster.shape)
+
+    def decompress(
+        self,
+        times: np.ndarray,
+        channels: np.ndarray,
+        shape: tuple[int, ...],
+    ) -> np.ndarray:
+        """Exact inverse of :meth:`compress`."""
+        if times.shape != channels.shape:
+            raise CodecError("times and channels must align")
+        flat = np.zeros((shape[0], int(np.prod(shape[1:]))), dtype=np.float32)
+        if times.size:
+            if times.max() >= flat.shape[0] or channels.max() >= flat.shape[1]:
+                raise CodecError("event coordinates exceed raster shape")
+            flat[times, channels] = 1.0
+        return flat.reshape(shape)
+
+    def compressed_bytes(self, num_events: int) -> int:
+        """Storage bytes for ``num_events`` spikes."""
+        if num_events < 0:
+            raise CodecError(f"num_events must be >= 0, got {num_events}")
+        return num_events * self.bytes_per_event
+
+    def __repr__(self) -> str:
+        return (
+            f"AddressEventCodec(time_bytes={self.time_bytes}, "
+            f"channel_bytes={self.channel_bytes})"
+        )

@@ -1,0 +1,75 @@
+"""The Fig. 7 temporal subsampling codec (adopted from SpikingLR).
+
+The paper's example (factor 2)::
+
+    original:     1 1 0 1 0 1 0 0 1 0 1 1 1 0      (14 frames)
+    compressed:   1 0 0 0 1 1 1                     ( 7 frames)
+    decompressed: 1 0 0 0 0 0 0 0 1 0 1 0 1 0      (14 frames)
+
+Compression keeps every k-th frame (the *first* frame of each window);
+decompression re-expands by placing each stored frame at the start of its
+window and zero-filling the rest.  The round-trip is deliberately lossy:
+spikes on dropped frames vanish — that is the latency/accuracy trade the
+paper optimises around.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+__all__ = ["TemporalSubsampleCodec"]
+
+
+class TemporalSubsampleCodec:
+    """Keep-every-k-th-frame compression of binary rasters (Fig. 7).
+
+    Parameters
+    ----------
+    factor:
+        Subsampling factor k.  ``factor=1`` is the identity (what
+        Replay4NCL uses: latent data stored natively at the reduced
+        timestep, no decompression pass needed).
+    """
+
+    def __init__(self, factor: int = 2):
+        if int(factor) != factor or factor < 1:
+            raise CodecError(f"factor must be a positive integer, got {factor}")
+        self.factor = int(factor)
+
+    def compressed_length(self, timesteps: int) -> int:
+        """Frames stored for a ``timesteps``-frame raster: ceil(T / k)."""
+        if timesteps <= 0:
+            raise CodecError(f"timesteps must be positive, got {timesteps}")
+        return (timesteps + self.factor - 1) // self.factor
+
+    def compress(self, raster: np.ndarray) -> np.ndarray:
+        """Select frames ``0, k, 2k, ...`` along the leading time axis."""
+        raster = np.asarray(raster)
+        if raster.ndim < 1 or raster.shape[0] == 0:
+            raise CodecError("raster must have a non-empty leading time axis")
+        return raster[:: self.factor].copy()
+
+    def decompress(self, compressed: np.ndarray, timesteps: int) -> np.ndarray:
+        """Zero-stuff back to ``timesteps`` frames (Fig. 7 bottom row)."""
+        compressed = np.asarray(compressed)
+        if compressed.ndim < 1:
+            raise CodecError("compressed raster must have a leading time axis")
+        expected = self.compressed_length(timesteps)
+        if compressed.shape[0] != expected:
+            raise CodecError(
+                f"compressed length {compressed.shape[0]} does not match "
+                f"{expected} = ceil({timesteps} / {self.factor})"
+            )
+        out = np.zeros((timesteps,) + compressed.shape[1:], dtype=np.float32)
+        out[:: self.factor] = compressed
+        return out
+
+    def roundtrip(self, raster: np.ndarray) -> np.ndarray:
+        """compress → decompress at the original length (lossy)."""
+        raster = np.asarray(raster)
+        return self.decompress(self.compress(raster), raster.shape[0])
+
+    def __repr__(self) -> str:
+        return f"TemporalSubsampleCodec(factor={self.factor})"

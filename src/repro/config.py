@@ -1,0 +1,241 @@
+"""Typed configuration objects shared across the library.
+
+Configs are frozen dataclasses with validation in ``__post_init__`` so a
+bad experiment fails at construction time, not three epochs in.  The
+`replace`-style helpers return modified copies, keeping experiment sweeps
+functional (no mutation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "NetworkConfig",
+    "PretrainConfig",
+    "NCLConfig",
+    "ExperimentConfig",
+    "PAPER_LAYER_SIZES",
+]
+
+# The paper's Fig. 6 architecture: 700 input channels, hidden layers of
+# 200/100/50 recurrent LIF neurons, 20 readout classes.
+PAPER_LAYER_SIZES: tuple[int, ...] = (700, 200, 100, 50, 20)
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Architecture and neuron parameters for the recurrent SNN.
+
+    Attributes
+    ----------
+    layer_sizes:
+        ``(input, hidden..., classes)``.  The paper uses
+        ``(700, 200, 100, 50, 20)`` — four weight layers (L=4), the last
+        being a non-spiking leaky readout.
+    beta:
+        Membrane decay per timestep, ``exp(-dt/tau)`` in Eq. (1).
+    threshold:
+        Baseline neuron threshold potential ``Vthr`` (Eq. 2).
+    surrogate_scale:
+        Slope of the fast-sigmoid surrogate (Fig. 5b).
+    recurrent:
+        Whether hidden layers have recurrent weights (Fig. 6a shows they
+        do for the SHD workload).
+    reset_mode:
+        ``"subtract"`` (soft reset, V -= Vthr) or ``"zero"`` (hard reset
+        to Vrst, Eq. 2).  The paper's Eq. 2 is a hard reset.
+    readout_mode:
+        Logit reduction of the readout membrane trajectory over time:
+        ``"mean"`` (default), ``"max"``, or ``"last"``.
+    synapse_alpha:
+        None (default) — plain LIF (Eq. 1); in (0, 1) — current-based
+        (CuBa) LIF with synaptic decay ``alpha`` (neuron-model ablation).
+    """
+
+    layer_sizes: tuple[int, ...] = PAPER_LAYER_SIZES
+    beta: float = 0.95
+    threshold: float = 1.0
+    surrogate_scale: float = 25.0
+    recurrent: bool = True
+    reset_mode: str = "zero"
+    readout_mode: str = "mean"
+    synapse_alpha: float | None = None
+
+    def __post_init__(self):
+        if self.readout_mode not in ("mean", "max", "last"):
+            raise ConfigError(
+                f"readout_mode must be 'mean', 'max' or 'last', got {self.readout_mode!r}"
+            )
+        if self.synapse_alpha is not None and not 0.0 < self.synapse_alpha < 1.0:
+            raise ConfigError(
+                f"synapse_alpha must lie in (0, 1) or be None, got {self.synapse_alpha}"
+            )
+        if len(self.layer_sizes) < 3:
+            raise ConfigError(
+                "layer_sizes needs at least (input, hidden, classes); "
+                f"got {self.layer_sizes}"
+            )
+        if any(n <= 0 for n in self.layer_sizes):
+            raise ConfigError(f"layer sizes must be positive: {self.layer_sizes}")
+        if not 0.0 < self.beta < 1.0:
+            raise ConfigError(f"beta must lie in (0, 1), got {self.beta}")
+        if self.threshold <= 0:
+            raise ConfigError(f"threshold must be positive, got {self.threshold}")
+        if self.reset_mode not in ("subtract", "zero"):
+            raise ConfigError(f"reset_mode must be 'subtract' or 'zero', got {self.reset_mode!r}")
+
+    @property
+    def num_weight_layers(self) -> int:
+        """Number of weight layers L (hidden layers + readout)."""
+        return len(self.layer_sizes) - 1
+
+    @property
+    def num_hidden_layers(self) -> int:
+        return len(self.layer_sizes) - 2
+
+    @property
+    def num_classes(self) -> int:
+        return self.layer_sizes[-1]
+
+    @property
+    def num_inputs(self) -> int:
+        return self.layer_sizes[0]
+
+    def replace(self, **kwargs) -> "NetworkConfig":
+        return dataclasses.replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class PretrainConfig:
+    """Pre-training phase settings (Alg. 1, lines 1-5)."""
+
+    epochs: int = 50
+    learning_rate: float = 1e-3  # eta_pre in Alg. 1 line 2
+    timesteps: int = 100
+    batch_size: int = 32
+
+    def __post_init__(self):
+        if self.epochs <= 0:
+            raise ConfigError(f"epochs must be positive, got {self.epochs}")
+        if self.learning_rate <= 0:
+            raise ConfigError(f"learning_rate must be positive, got {self.learning_rate}")
+        if self.timesteps <= 0:
+            raise ConfigError(f"timesteps must be positive, got {self.timesteps}")
+        if self.batch_size <= 0:
+            raise ConfigError(f"batch_size must be positive, got {self.batch_size}")
+
+    def replace(self, **kwargs) -> "PretrainConfig":
+        return dataclasses.replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class NCLConfig:
+    """Continual-learning phase settings (Alg. 1, lines 6-33).
+
+    Attributes
+    ----------
+    timesteps:
+        NCL-phase timestep count.  100 for SpikingLR; the reduced ``T*``
+        (default 40, from Fig. 8 Observation B) for Replay4NCL.
+    learning_rate_divisor:
+        ``eta_cl = eta_pre / divisor``; 100 for Replay4NCL (Alg. 1 line
+        6/21), 10 for the SpikingLR comparator.
+    base_learning_rate:
+        The ``eta_pre`` entering the divisor rule.  None (default) uses
+        the actual pre-training rate; the small-scale presets set it
+        higher because far fewer optimizer steps per epoch are available
+        than at paper scale (see DESIGN.md §7).
+    insertion_layer:
+        Index of the LR insertion layer ``Lins`` in ``0..L-1`` weight
+        layers (hidden layers only; the readout cannot host LR data).
+    replay_fraction:
+        Fraction of the pre-training set stored as latent replay data
+        (``TS_replay ⊆ TS_pre``).
+    adjust_interval:
+        Alg. 1's ``adjust_interval`` for the adaptive threshold (=5).
+    adaptive_threshold:
+        Replay4NCL's dynamic Vthr policy; off for SpikingLR.
+    compression_factor:
+        Temporal subsampling factor of the Fig. 7 codec applied to stored
+        LR data (SpikingLR: 2; Replay4NCL stores natively: 1).
+    decompress_for_replay:
+        Whether stored LR data is zero-stuffed back to the training
+        timestep count before replay (SpikingLR: True).
+    """
+
+    timesteps: int = 40
+    learning_rate_divisor: float = 100.0
+    base_learning_rate: float | None = None
+    insertion_layer: int = 3
+    replay_fraction: float = 0.25
+    adjust_interval: int = 5
+    adaptive_threshold: bool = True
+    compression_factor: int = 1
+    decompress_for_replay: bool = False
+    epochs: int = 50
+    batch_size: int = 32
+
+    def __post_init__(self):
+        if self.timesteps <= 0:
+            raise ConfigError(f"timesteps must be positive, got {self.timesteps}")
+        if self.learning_rate_divisor <= 0:
+            raise ConfigError(
+                f"learning_rate_divisor must be positive, got {self.learning_rate_divisor}"
+            )
+        if self.base_learning_rate is not None and self.base_learning_rate <= 0:
+            raise ConfigError(
+                f"base_learning_rate must be positive, got {self.base_learning_rate}"
+            )
+        if self.insertion_layer < 0:
+            raise ConfigError(f"insertion_layer must be >= 0, got {self.insertion_layer}")
+        if not 0.0 < self.replay_fraction <= 1.0:
+            raise ConfigError(
+                f"replay_fraction must lie in (0, 1], got {self.replay_fraction}"
+            )
+        if self.adjust_interval <= 0:
+            raise ConfigError(f"adjust_interval must be positive, got {self.adjust_interval}")
+        if self.compression_factor < 1:
+            raise ConfigError(
+                f"compression_factor must be >= 1, got {self.compression_factor}"
+            )
+        if self.epochs <= 0:
+            raise ConfigError(f"epochs must be positive, got {self.epochs}")
+        if self.batch_size <= 0:
+            raise ConfigError(f"batch_size must be positive, got {self.batch_size}")
+
+    def replace(self, **kwargs) -> "NCLConfig":
+        return dataclasses.replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A complete class-incremental experiment specification."""
+
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    pretrain: PretrainConfig = field(default_factory=PretrainConfig)
+    ncl: NCLConfig = field(default_factory=NCLConfig)
+    seed: int = 0
+    num_pretrain_classes: int = 19
+    samples_per_class: int = 32
+    test_samples_per_class: int = 16
+
+    def __post_init__(self):
+        if not 0 < self.num_pretrain_classes < self.network.num_classes:
+            raise ConfigError(
+                f"num_pretrain_classes must lie in (0, {self.network.num_classes}); "
+                f"got {self.num_pretrain_classes}"
+            )
+        if self.samples_per_class <= 0 or self.test_samples_per_class <= 0:
+            raise ConfigError("sample counts must be positive")
+        if self.ncl.insertion_layer >= self.network.num_weight_layers:
+            raise ConfigError(
+                f"insertion_layer {self.ncl.insertion_layer} out of range for a network "
+                f"with {self.network.num_weight_layers} weight layers"
+            )
+
+    def replace(self, **kwargs) -> "ExperimentConfig":
+        return dataclasses.replace(self, **kwargs)

@@ -1,0 +1,47 @@
+"""The paper's contribution: memory-replay NCL methods.
+
+Three methods over the same pre-trained network and class-incremental
+split:
+
+- :class:`NaiveFinetune` — no replay; demonstrates catastrophic
+  forgetting (paper Fig. 1a).
+- :class:`SpikingLR` — the state-of-the-art comparator (Dequino et al.):
+  latent replay at the pre-training timestep (T=100) with the Fig. 7
+  compress/decompress cycle and a static threshold.
+- :class:`Replay4NCL` — the paper's method: latent data generated and
+  stored at a reduced timestep T* (no decompression), adaptive threshold
+  potential, and a strongly reduced NCL learning rate (Alg. 1).
+
+Entry points: :func:`~repro.core.pipeline.pretrain` builds the shared
+pre-trained network; ``method.run(...)`` executes the NCL phase and
+returns an :class:`NCLResult` carrying accuracy curves, latent-memory
+stats and the op-count cost profile the hardware models consume.
+"""
+
+from repro.core.latent_replay import LatentReplayBuffer
+from repro.core.pipeline import pretrain, run_method
+from repro.core.raw_replay import RawInputReplay
+from repro.core.replay4ncl import Replay4NCL
+from repro.core.sequential import (
+    SequentialResult,
+    make_sequential_splits,
+    run_sequential,
+)
+from repro.core.spikinglr import SpikingLR
+from repro.core.strategies import EpochCost, NCLMethod, NCLResult, NaiveFinetune
+
+__all__ = [
+    "LatentReplayBuffer",
+    "NCLMethod",
+    "NCLResult",
+    "EpochCost",
+    "NaiveFinetune",
+    "RawInputReplay",
+    "SpikingLR",
+    "Replay4NCL",
+    "SequentialResult",
+    "make_sequential_splits",
+    "run_sequential",
+    "pretrain",
+    "run_method",
+]

@@ -1,0 +1,138 @@
+"""Sequential (multi-step) class-incremental learning.
+
+The paper evaluates one continual step (19 classes -> +1).  Deployed
+agents face a *stream* of new classes; this module chains NCL steps:
+
+- step k learns new-class set k starting from the network trained at
+  step k-1;
+- the replay pool for step k covers **all classes seen so far** —
+  including classes learned continually in earlier steps, whose latent
+  data is regenerated from their training recordings through the frozen
+  front (the frozen layers never change, so regeneration is exact).
+
+This is the natural extension of Alg. 1 and the stress test for the
+paper's parameter adjustments: forgetting can now compound across steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.strategies import NCLMethod, NCLResult
+from repro.data.synthetic_shd import SyntheticSHD
+from repro.data.tasks import ClassIncrementalSplit
+from repro.errors import DataError
+from repro.snn.network import SpikingNetwork
+
+__all__ = ["SequentialResult", "make_sequential_splits", "run_sequential"]
+
+
+@dataclass(frozen=True)
+class SequentialResult:
+    """Outcome of a multi-step scenario."""
+
+    steps: tuple[NCLResult, ...]
+
+    @property
+    def final_network(self) -> SpikingNetwork:
+        network = self.steps[-1].network
+        if network is None:
+            raise DataError("final step carries no network")
+        return network
+
+    @property
+    def old_accuracy_trajectory(self) -> tuple[float, ...]:
+        """Old-task accuracy after each step (forgetting accumulation)."""
+        return tuple(step.final_old_accuracy for step in self.steps)
+
+    @property
+    def new_accuracy_trajectory(self) -> tuple[float, ...]:
+        return tuple(step.final_new_accuracy for step in self.steps)
+
+    def describe(self) -> str:
+        lines = [f"sequential scenario: {len(self.steps)} steps"]
+        for i, step in enumerate(self.steps):
+            lines.append(
+                f"  step {i}: old={step.final_old_accuracy:.3f} "
+                f"new={step.final_new_accuracy:.3f} "
+                f"overall={step.final_overall_accuracy:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def make_sequential_splits(
+    generator: SyntheticSHD,
+    samples_per_class: int,
+    test_samples_per_class: int,
+    base_classes: int,
+    steps: int,
+    classes_per_step: int = 1,
+) -> list[ClassIncrementalSplit]:
+    """Build one :class:`ClassIncrementalSplit` per continual step.
+
+    Step k's "old" pool holds the base classes plus everything learned
+    in steps ``< k`` (so replay regeneration covers all seen classes);
+    its "new" set holds the next ``classes_per_step`` class ids.
+    """
+    num_classes = generator.config.num_classes
+    needed = base_classes + steps * classes_per_step
+    if base_classes <= 0 or steps <= 0 or classes_per_step <= 0:
+        raise DataError("base_classes, steps and classes_per_step must be positive")
+    if needed > num_classes:
+        raise DataError(
+            f"scenario needs {needed} classes but the generator has {num_classes}"
+        )
+
+    splits = []
+    for k in range(steps):
+        seen = list(range(base_classes + k * classes_per_step))
+        new = list(
+            range(
+                base_classes + k * classes_per_step,
+                base_classes + (k + 1) * classes_per_step,
+            )
+        )
+        splits.append(
+            ClassIncrementalSplit(
+                pretrain_train=generator.generate_dataset(
+                    samples_per_class, split="train", classes=seen
+                ),
+                pretrain_test=generator.generate_dataset(
+                    test_samples_per_class, split="test", classes=seen
+                ),
+                new_train=generator.generate_dataset(
+                    samples_per_class, split="train", classes=new
+                ),
+                new_test=generator.generate_dataset(
+                    test_samples_per_class, split="test", classes=new
+                ),
+                old_classes=tuple(seen),
+                new_classes=tuple(new),
+            )
+        )
+    return splits
+
+
+def run_sequential(
+    method_factory,
+    pretrained: SpikingNetwork,
+    splits: list[ClassIncrementalSplit],
+) -> SequentialResult:
+    """Chain NCL steps: each starts from the previous step's network.
+
+    ``method_factory`` is called once per step (``factory(step_index)``)
+    so policies may vary along the stream; return a fresh
+    :class:`NCLMethod` each time.
+    """
+    if not splits:
+        raise DataError("need at least one split")
+    network = pretrained
+    results = []
+    for k, split in enumerate(splits):
+        method: NCLMethod = method_factory(k)
+        result = method.run(network, split)
+        if result.network is None:
+            raise DataError("method did not return its trained network")
+        results.append(result)
+        network = result.network
+    return SequentialResult(steps=tuple(results))

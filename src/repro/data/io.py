@@ -1,0 +1,96 @@
+"""Dataset serialization: save/load :class:`SpikeDataset` as ``.npz``.
+
+Synthetic datasets are cheap to regenerate, but a stable on-disk format
+matters for (a) caching large paper-scale datasets across runs and (b)
+adapting real recordings (converted SHD files, sensor dumps) into the
+library without going through the generator.
+
+Format (single compressed ``.npz``): flat event arrays for all
+recordings plus per-recording offsets, labels, and scalar metadata.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.datasets import SpikeDataset
+from repro.data.events import EventStream
+from repro.errors import DataError
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: SpikeDataset, path: str | Path) -> Path:
+    """Write ``dataset`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    if not dataset.streams:
+        raise DataError("refusing to save an empty dataset")
+
+    lengths = [s.num_events for s in dataset.streams]
+    offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+    times = np.concatenate([s.times for s in dataset.streams]) if sum(lengths) else np.empty(0)
+    channels = (
+        np.concatenate([s.channels for s in dataset.streams])
+        if sum(lengths)
+        else np.empty(0, dtype=np.int64)
+    )
+    durations = np.asarray([s.duration for s in dataset.streams])
+    channel_counts = np.asarray([s.num_channels for s in dataset.streams])
+    if len(set(channel_counts.tolist())) != 1:
+        raise DataError("all recordings must share one channel count")
+
+    np.savez_compressed(
+        path,
+        format_version=np.asarray(_FORMAT_VERSION),
+        times=times,
+        channels=channels,
+        offsets=offsets,
+        durations=durations,
+        labels=dataset.labels,
+        num_channels=np.asarray(channel_counts[0]),
+        num_classes=np.asarray(dataset.num_classes),
+    )
+    return path
+
+
+def load_dataset(path: str | Path) -> SpikeDataset:
+    """Inverse of :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"dataset file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        required = {"format_version", "times", "channels", "offsets",
+                    "durations", "labels", "num_channels", "num_classes"}
+        missing = required - set(archive.files)
+        if missing:
+            raise DataError(f"{path} is not a repro dataset (missing {sorted(missing)})")
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise DataError(
+                f"unsupported dataset format version {version} "
+                f"(this build reads {_FORMAT_VERSION})"
+            )
+        offsets = archive["offsets"]
+        num_channels = int(archive["num_channels"])
+        streams = []
+        for i in range(len(offsets) - 1):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            streams.append(
+                EventStream(
+                    times=archive["times"][lo:hi],
+                    channels=archive["channels"][lo:hi],
+                    num_channels=num_channels,
+                    duration=float(archive["durations"][i]),
+                )
+            )
+        return SpikeDataset(
+            streams=streams,
+            labels=archive["labels"],
+            num_classes=int(archive["num_classes"]),
+        )

@@ -1,0 +1,88 @@
+"""Raster-level transforms: rebinning, augmentation, mixing.
+
+``rebin_raster`` is the workhorse of the paper's timestep optimisation:
+it converts a raster between temporal resolutions the same way
+re-binning the underlying events would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+__all__ = ["rebin_raster", "time_jitter", "channel_dropout", "merge_rasters"]
+
+
+def rebin_raster(raster: np.ndarray, new_timesteps: int) -> np.ndarray:
+    """Re-bin a ``[T, ...]`` binary raster to ``new_timesteps`` bins.
+
+    Each old bin maps to ``floor(t / T * T_new)``; a new bin spikes if any
+    of its constituent old bins spiked (event-preserving OR-reduction).
+    Downsampling merges spikes — deliberately lossy, exactly like binning
+    the original event stream at the coarser resolution.  Upsampling
+    places each spike at the first new bin of its window (zero-stuffing),
+    matching the Fig. 7 decompression convention.
+    """
+    raster = np.asarray(raster)
+    if raster.ndim < 1:
+        raise DataError("raster must have a leading time axis")
+    timesteps = raster.shape[0]
+    if new_timesteps <= 0:
+        raise DataError(f"new_timesteps must be positive, got {new_timesteps}")
+    if new_timesteps == timesteps:
+        return raster.astype(np.float32, copy=True)
+
+    out_shape = (new_timesteps,) + raster.shape[1:]
+    out = np.zeros(out_shape, dtype=np.float32)
+    if new_timesteps < timesteps:
+        mapping = (np.arange(timesteps) * new_timesteps) // timesteps
+        np.maximum.at(out, mapping, raster.astype(np.float32, copy=False))
+    else:
+        mapping = (np.arange(timesteps) * new_timesteps) // timesteps
+        out[mapping] = raster
+    return out
+
+
+def time_jitter(
+    raster: np.ndarray, max_shift: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Shift the whole raster by a random number of bins (±max_shift)."""
+    if max_shift < 0:
+        raise DataError(f"max_shift must be >= 0, got {max_shift}")
+    shift = int(rng.integers(-max_shift, max_shift + 1))
+    out = np.zeros_like(raster)
+    if shift == 0:
+        return raster.copy()
+    if shift > 0:
+        out[shift:] = raster[:-shift]
+    else:
+        out[:shift] = raster[-shift:]
+    return out
+
+
+def channel_dropout(
+    raster: np.ndarray, p: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Silence each channel independently with probability ``p``."""
+    if not 0.0 <= p < 1.0:
+        raise DataError(f"p must lie in [0, 1), got {p}")
+    keep = rng.random(raster.shape[-1]) >= p
+    return raster * keep.astype(raster.dtype)
+
+
+def merge_rasters(a: np.ndarray, b: np.ndarray, axis: int = 1) -> np.ndarray:
+    """Concatenate two ``[T, N, C]`` raster batches along the sample axis.
+
+    Used to form the NCL minibatch pool ``A_new ∪ A_LR`` (Alg. 1 line
+    31).  Time and channel dims must agree.
+    """
+    a, b = np.asarray(a), np.asarray(b)
+    if a.ndim != 3 or b.ndim != 3:
+        raise DataError("merge_rasters expects [T, N, C] arrays")
+    if a.shape[0] != b.shape[0] or a.shape[2] != b.shape[2]:
+        raise DataError(
+            f"incompatible raster shapes {a.shape} and {b.shape}: time and "
+            "channel dims must match"
+        )
+    return np.concatenate([a, b], axis=axis)

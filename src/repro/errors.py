@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError):
+    """An array argument has an incompatible shape."""
+
+
+class GradientError(ReproError):
+    """Backward pass was requested in an invalid state.
+
+    Examples: calling ``backward`` on a non-scalar tensor without an
+    explicit upstream gradient, or reading ``grad`` from a tensor that
+    does not require gradients.
+    """
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its valid domain."""
+
+
+class CodecError(ReproError):
+    """Spike-train compression/decompression received invalid input."""
+
+
+class DataError(ReproError):
+    """Dataset construction or loading failed."""
+
+
+class SplitError(ReproError):
+    """A network split (frozen/learning) request is invalid."""
+
+
+class TrainingError(ReproError):
+    """The training loop reached an invalid state."""

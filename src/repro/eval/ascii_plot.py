@@ -1,0 +1,77 @@
+"""Terminal plotting: line charts and bar groups without matplotlib."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["ascii_curve", "ascii_bars"]
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_curve(
+    series: dict[str, tuple],
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Plot named ``(x, y)`` series on a shared-axis character grid.
+
+    >>> print(ascii_curve({"a": ((0, 1, 2), (0.0, 0.5, 1.0))}))  # doctest: +SKIP
+    """
+    if not series:
+        raise ConfigError("need at least one series")
+    if width < 16 or height < 4:
+        raise ConfigError("plot must be at least 16x4")
+
+    all_x = [float(x) for xs, _ in series.values() for x in xs]
+    all_y = [float(y) for _, ys in series.values() for y in ys]
+    if not all_x:
+        raise ConfigError("series are empty")
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, (xs, ys)), mark in zip(series.items(), _MARKS):
+        for x, y in zip(xs, ys):
+            col = int((float(x) - x_min) / x_span * (width - 1))
+            row = height - 1 - int((float(y) - y_min) / y_span * (height - 1))
+            grid[row][col] = mark
+
+    lines = []
+    for i, row in enumerate(grid):
+        label = y_max if i == 0 else (y_min if i == height - 1 else None)
+        prefix = f"{label:8.3g} |" if label is not None else " " * 8 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x_min:<10.4g}{'':^{max(width - 20, 0)}}{x_max:>10.4g}")
+    legend = "   ".join(
+        f"{mark}={name}" for (name, _), mark in zip(series.items(), _MARKS)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(groups: dict[str, dict[str, float]], width: int = 48) -> str:
+    """Grouped horizontal bars.
+
+    ``groups`` maps series name -> {category: value}.  Bars are scaled to
+    the global maximum.
+    """
+    if not groups:
+        raise ConfigError("need at least one group")
+    values = [v for cats in groups.values() for v in cats.values()]
+    if not values:
+        raise ConfigError("groups are empty")
+    peak = max(abs(float(v)) for v in values) or 1.0
+
+    label_width = max(
+        len(f"{name}[{cat}]") for name, cats in groups.items() for cat in cats
+    )
+    lines = []
+    for name, cats in groups.items():
+        for cat, value in cats.items():
+            bar = "#" * max(int(abs(float(value)) / peak * width), 0)
+            lines.append(f"{name}[{cat}]".ljust(label_width + 1) + f"|{bar} {float(value):.4g}")
+    return "\n".join(lines)

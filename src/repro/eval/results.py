@@ -1,0 +1,127 @@
+"""Result containers with text/CSV/JSON rendering."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.eval.ascii_plot import ascii_bars, ascii_curve
+
+__all__ = ["Series", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named data series of an experiment (a curve or a bar group).
+
+    ``x`` is the independent variable (epoch, timestep, insertion
+    layer), ``y`` the measured values.
+    """
+
+    name: str
+    x: tuple
+    y: tuple
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def __post_init__(self):
+        if len(self.x) != len(self.y):
+            raise ConfigError(
+                f"series {self.name!r}: {len(self.x)} x values but {len(self.y)} y"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "x": list(self.x),
+            "y": [float(v) for v in self.y],
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one figure/table reproduction."""
+
+    experiment_id: str
+    title: str
+    scale: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    scalars: dict[str, float] = field(default_factory=dict)
+
+    def add_series(self, series: Series) -> None:
+        self.series.append(series)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def get_series(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series named {name!r} in {self.experiment_id}")
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def format_text(self, plot: bool = True) -> str:
+        """Human-readable report: scalars, series tables, ASCII plots."""
+        lines = [f"== {self.experiment_id}: {self.title} (scale={self.scale}) =="]
+        for key, value in self.scalars.items():
+            lines.append(f"  {key}: {value:.4g}")
+        for s in self.series:
+            lines.append(f"\n  -- {s.name} ({s.y_label} vs {s.x_label}) --")
+            lines.append(
+                "  " + "  ".join(f"{xv}:{float(yv):.4g}" for xv, yv in zip(s.x, s.y))
+            )
+        if plot and self.series:
+            numeric_x = all(
+                isinstance(xv, (int, float)) for s in self.series for xv in s.x
+            )
+            lines.append("")
+            if numeric_x and max(len(s.x) for s in self.series) > 6:
+                lines.append(ascii_curve({s.name: (s.x, s.y) for s in self.series}))
+            else:
+                lines.append(
+                    ascii_bars(
+                        {s.name: dict(zip((str(x) for x in s.x), s.y)) for s in self.series}
+                    )
+                )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Long-format CSV: series,x,y."""
+        rows = ["series,x,y"]
+        for s in self.series:
+            for xv, yv in zip(s.x, s.y):
+                rows.append(f"{s.name},{xv},{float(yv):.6g}")
+        return "\n".join(rows) + "\n"
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "scale": self.scale,
+                "scalars": {k: float(v) for k, v in self.scalars.items()},
+                "series": [s.as_dict() for s in self.series],
+                "notes": self.notes,
+            },
+            indent=2,
+        )
+
+    def save(self, directory: str | Path) -> tuple[Path, Path]:
+        """Write ``<id>.json`` and ``<id>.csv`` into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        json_path = directory / f"{self.experiment_id}.json"
+        csv_path = directory / f"{self.experiment_id}.csv"
+        json_path.write_text(self.to_json())
+        csv_path.write_text(self.to_csv())
+        return json_path, csv_path

@@ -1,0 +1,55 @@
+"""Analytic hardware cost models: latency, energy, latent memory.
+
+The paper reports processing time and energy measured on an RTX 4090 Ti
+while motivating *embedded neuromorphic* deployment.  Neither target is
+measurable in this environment, so this package substitutes analytic
+models driven by **counted operations from the actual simulation
+traces** (spikes, synaptic events, MACs, memory traffic).  The paper's
+latency/energy results are monotone in timesteps and op counts, so the
+shapes — who wins, by what factor, where the crossovers sit — carry over
+(see DESIGN.md §2).
+
+Models
+------
+- :class:`HardwareProfile` — per-op energies and throughputs; presets for
+  an event-driven embedded neuromorphic target (default), a Loihi-like
+  chip, and a dense edge-GPU-like target.
+- :class:`OpsCounter` — turns :class:`~repro.snn.state.SpikeTrace` into
+  :class:`OpCounts` (SOPs, MACs, neuron updates, weight-memory traffic).
+- :class:`LatencyModel` / :class:`EnergyModel` — per-epoch and per-run
+  costs from :class:`~repro.core.strategies.EpochCost` ledgers.
+- :func:`latent_memory_bytes` — the storage model behind Fig. 12.
+- :class:`CostReport` — normalized method-vs-method tables.
+"""
+
+from repro.hw.energy import EnergyModel
+from repro.hw.latency import LatencyModel
+from repro.hw.memory import latent_memory_bytes, LatentMemoryModel
+from repro.hw.ops_counter import OpCounts, OpsCounter
+from repro.hw.profiles import (
+    HardwareProfile,
+    edge_gpu_like,
+    embedded_neuromorphic,
+    loihi_like,
+)
+from repro.hw.report import CostReport, MethodCost, build_cost_report
+from repro.hw.wallclock import WallClockSample, measure, measure_ratio
+
+__all__ = [
+    "WallClockSample",
+    "measure",
+    "measure_ratio",
+    "HardwareProfile",
+    "embedded_neuromorphic",
+    "loihi_like",
+    "edge_gpu_like",
+    "OpCounts",
+    "OpsCounter",
+    "LatencyModel",
+    "EnergyModel",
+    "latent_memory_bytes",
+    "LatentMemoryModel",
+    "CostReport",
+    "MethodCost",
+    "build_cost_report",
+]

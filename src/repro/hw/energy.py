@@ -1,0 +1,59 @@
+"""Energy model: op counts -> joules on a hardware profile.
+
+``energy = dynamic + static`` where dynamic charges each op class its
+profile energy and static charges ``static_power * latency`` — the term
+that keeps energy savings below latency savings at late insertion layers
+(paper Fig. 10c vs 10b).
+"""
+
+from __future__ import annotations
+
+from repro.core.strategies import EpochCost, NCLResult
+from repro.hw.latency import LatencyModel
+from repro.hw.ops_counter import OpCounts, OpsCounter
+from repro.hw.profiles import HardwareProfile
+
+__all__ = ["EnergyModel"]
+
+
+class EnergyModel:
+    """Maps :class:`OpCounts` ledgers to energy."""
+
+    def __init__(self, profile: HardwareProfile, counter: OpsCounter | None = None):
+        self.profile = profile
+        self.counter = counter or OpsCounter()
+        self._latency = LatencyModel(profile, self.counter)
+
+    def counts_energy(self, counts: OpCounts) -> float:
+        """Joules to execute ``counts`` on the profile."""
+        p = self.profile
+        if p.mode == "event":
+            compute = (
+                counts.sops * p.energy_per_sop
+                + counts.neuron_updates * p.energy_per_neuron_update
+            )
+        else:
+            compute = counts.macs * p.energy_per_mac
+        dynamic = (
+            compute
+            + counts.memory_bytes * p.energy_per_byte
+            + counts.codec_cells * p.energy_per_codec_cell
+        )
+        static = p.static_power * self._latency.counts_latency(counts)
+        return dynamic + static
+
+    def epoch_energy(self, cost: EpochCost) -> float:
+        return self.counts_energy(self._latency.epoch_counts(cost))
+
+    def run_epoch_energies(self, result: NCLResult) -> list[float]:
+        return [self.epoch_energy(cost) for cost in result.epoch_costs]
+
+    def run_energy(self, result: NCLResult, include_prepare: bool = True) -> float:
+        total = sum(self.run_epoch_energies(result))
+        if include_prepare:
+            total += self.epoch_energy(result.prepare_cost)
+        return total
+
+    def cumulative_energy(self, result: NCLResult, epochs: int) -> float:
+        """Energy of the first ``epochs`` epochs (Fig. 11c bars)."""
+        return sum(self.run_epoch_energies(result)[:epochs])

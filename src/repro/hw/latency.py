@@ -1,0 +1,65 @@
+"""Latency model: op counts -> seconds on a hardware profile."""
+
+from __future__ import annotations
+
+from repro.core.strategies import EpochCost, NCLResult
+from repro.hw.ops_counter import OpCounts, OpsCounter
+from repro.hw.profiles import HardwareProfile
+
+__all__ = ["LatencyModel"]
+
+
+class LatencyModel:
+    """Maps :class:`OpCounts` ledgers to processing time.
+
+    Event-mode profiles time the SOP stream and neuron updates; dense
+    profiles time the MAC stream.  Codec work is timed on its own path
+    in both modes (the Fig. 7 cycle is memory-bound, not compute-bound).
+    """
+
+    def __init__(self, profile: HardwareProfile, counter: OpsCounter | None = None):
+        self.profile = profile
+        self.counter = counter or OpsCounter()
+
+    # ------------------------------------------------------------------
+    def counts_latency(self, counts: OpCounts) -> float:
+        """Seconds to execute ``counts`` on the profile."""
+        p = self.profile
+        if p.mode == "event":
+            compute = counts.sops / p.sop_throughput + (
+                counts.neuron_updates / p.update_throughput
+            )
+        else:
+            compute = counts.macs / p.mac_throughput
+        codec = counts.codec_cells / p.codec_cell_throughput
+        barriers = counts.barrier_steps * p.barrier_step_time
+        return compute + codec + barriers
+
+    def epoch_counts(self, cost: EpochCost) -> OpCounts:
+        """Aggregate op counts of one NCL epoch."""
+        total = OpCounts()
+        for trace in cost.train_traces:
+            total = total + self.counter.count_training(trace)
+        for trace in cost.frozen_traces:
+            total = total + self.counter.count_forward(trace)
+        total = total + self.counter.count_codec(cost.decompressed_cells)
+        return total
+
+    def epoch_latency(self, cost: EpochCost) -> float:
+        return self.counts_latency(self.epoch_counts(cost))
+
+    # ------------------------------------------------------------------
+    def run_epoch_latencies(self, result: NCLResult) -> list[float]:
+        """Per-epoch latencies of a full NCL run."""
+        return [self.epoch_latency(cost) for cost in result.epoch_costs]
+
+    def run_latency(self, result: NCLResult, include_prepare: bool = True) -> float:
+        """Total NCL-phase latency (optionally incl. latent generation)."""
+        total = sum(self.run_epoch_latencies(result))
+        if include_prepare:
+            total += self.epoch_latency(result.prepare_cost)
+        return total
+
+    def cumulative_latency(self, result: NCLResult, epochs: int) -> float:
+        """Latency of the first ``epochs`` epochs (Fig. 11b bars)."""
+        return sum(self.run_epoch_latencies(result)[:epochs])

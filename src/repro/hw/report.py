@@ -1,0 +1,115 @@
+"""Normalized cost tables comparing NCL methods on a hardware profile."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.strategies import NCLResult
+from repro.errors import ConfigError
+from repro.hw.energy import EnergyModel
+from repro.hw.latency import LatencyModel
+from repro.hw.profiles import HardwareProfile, embedded_neuromorphic
+
+__all__ = ["MethodCost", "CostReport", "build_cost_report"]
+
+
+@dataclass(frozen=True)
+class MethodCost:
+    """Absolute and normalized costs of one NCL run."""
+
+    label: str
+    latency_s: float
+    energy_j: float
+    latent_bytes: int
+    old_accuracy: float
+    new_accuracy: float
+    latency_ratio: float = 1.0
+    energy_ratio: float = 1.0
+    memory_ratio: float = 1.0
+
+    @property
+    def latency_speedup(self) -> float:
+        """Reference latency / this latency (>1 means faster)."""
+        return 1.0 / self.latency_ratio if self.latency_ratio else float("inf")
+
+    @property
+    def energy_saving(self) -> float:
+        """Fractional energy saving vs the reference (0.36 == 36%)."""
+        return 1.0 - self.energy_ratio
+
+    @property
+    def memory_saving(self) -> float:
+        return 1.0 - self.memory_ratio
+
+
+@dataclass
+class CostReport:
+    """A set of method costs normalized to the first (reference) row."""
+
+    profile_name: str
+    rows: list[MethodCost]
+
+    def format_table(self) -> str:
+        """ASCII table in the style of the paper's result summaries."""
+        header = (
+            f"{'method':24s} {'old acc':>8s} {'new acc':>8s} {'latency':>10s} "
+            f"{'speedup':>8s} {'energy':>10s} {'saving':>8s} {'latent B':>10s} {'saving':>8s}"
+        )
+        lines = [f"cost report on {self.profile_name}", header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row.label:24s} {row.old_accuracy:8.4f} {row.new_accuracy:8.4f} "
+                f"{row.latency_s:10.4g} {row.latency_speedup:7.2f}x "
+                f"{row.energy_j:10.4g} {row.energy_saving:7.1%} "
+                f"{row.latent_bytes:10d} {row.memory_saving:7.1%}"
+            )
+        return "\n".join(lines)
+
+
+def build_cost_report(
+    results: list[tuple[str, NCLResult]],
+    profile: HardwareProfile | None = None,
+    include_prepare: bool = True,
+) -> CostReport:
+    """Compute a :class:`CostReport`; the first result is the reference.
+
+    ``results`` pairs a display label with an :class:`NCLResult` (labels
+    let callers distinguish e.g. methods across insertion layers).
+    """
+    if not results:
+        raise ConfigError("need at least one result to report on")
+    profile = profile or embedded_neuromorphic()
+    latency_model = LatencyModel(profile)
+    energy_model = EnergyModel(profile)
+
+    absolute: list[MethodCost] = []
+    for label, result in results:
+        absolute.append(
+            MethodCost(
+                label=label,
+                latency_s=latency_model.run_latency(result, include_prepare),
+                energy_j=energy_model.run_energy(result, include_prepare),
+                latent_bytes=result.latent_storage_bytes,
+                old_accuracy=result.final_old_accuracy,
+                new_accuracy=result.final_new_accuracy,
+            )
+        )
+
+    ref = absolute[0]
+    rows = [
+        MethodCost(
+            label=row.label,
+            latency_s=row.latency_s,
+            energy_j=row.energy_j,
+            latent_bytes=row.latent_bytes,
+            old_accuracy=row.old_accuracy,
+            new_accuracy=row.new_accuracy,
+            latency_ratio=row.latency_s / ref.latency_s if ref.latency_s else 1.0,
+            energy_ratio=row.energy_j / ref.energy_j if ref.energy_j else 1.0,
+            memory_ratio=(
+                row.latent_bytes / ref.latent_bytes if ref.latent_bytes else 1.0
+            ),
+        )
+        for row in absolute
+    ]
+    return CostReport(profile_name=profile.name, rows=rows)

@@ -1,0 +1,46 @@
+"""Deterministic random-number management.
+
+All stochastic components of the library (weight init, dataset synthesis,
+loader shuffling) draw from :class:`numpy.random.Generator` instances that
+are derived from a single experiment seed via :func:`spawn`.  This gives
+experiments reproducible yet statistically independent streams: two
+components seeded from the same root with different keys never share a
+stream, and re-running an experiment with the same seed replays the exact
+same draws.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "spawn", "default_rng"]
+
+_MAX_SEED = 2**63 - 1
+
+
+def derive_seed(root_seed: int, key: str) -> int:
+    """Derive a child seed from ``root_seed`` and a string ``key``.
+
+    The derivation is a SHA-256 hash of the pair, so child seeds are
+    stable across processes and platforms (unlike ``hash()``, which is
+    randomized per interpreter).
+
+    >>> derive_seed(0, "weights") == derive_seed(0, "weights")
+    True
+    >>> derive_seed(0, "weights") != derive_seed(0, "data")
+    True
+    """
+    digest = hashlib.sha256(f"{root_seed}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") % _MAX_SEED
+
+
+def spawn(root_seed: int, key: str) -> np.random.Generator:
+    """Return an independent generator for component ``key``."""
+    return np.random.default_rng(derive_seed(root_seed, key))
+
+
+def default_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a generator; seeded when ``seed`` is given, fresh otherwise."""
+    return np.random.default_rng(seed)

@@ -1,0 +1,39 @@
+"""Spiking neural network library: LIF neurons, recurrent layers, networks.
+
+Implements the architecture of paper Fig. 6: a stack of recurrent LIF
+hidden layers followed by a non-spiking leaky readout, trained with
+surrogate-gradient BPTT.  Networks can be *split* at an arbitrary weight
+layer into a frozen front and a learning tail — the mechanism behind
+latent replay (the frozen part produces latent activations; only the tail
+is trained during the NCL phase).
+"""
+
+from repro.snn.init import dense_init, recurrent_init
+from repro.snn.layers import LeakyReadout, RecurrentLIFLayer
+from repro.snn.network import ForwardResult, SpikingNetwork
+from repro.snn.neurons import LIFParameters, cuba_lif_step, lif_step
+from repro.snn.state import LayerTraceEntry, SpikeTrace
+from repro.snn.threshold import (
+    AdaptiveSpikeTimingThreshold,
+    PerNeuronAdaptiveThreshold,
+    StaticThreshold,
+    ThresholdController,
+)
+
+__all__ = [
+    "LIFParameters",
+    "lif_step",
+    "cuba_lif_step",
+    "RecurrentLIFLayer",
+    "LeakyReadout",
+    "SpikingNetwork",
+    "ForwardResult",
+    "SpikeTrace",
+    "LayerTraceEntry",
+    "ThresholdController",
+    "StaticThreshold",
+    "AdaptiveSpikeTimingThreshold",
+    "PerNeuronAdaptiveThreshold",
+    "dense_init",
+    "recurrent_init",
+]

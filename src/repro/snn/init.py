@@ -1,0 +1,41 @@
+"""Weight initialisation for spiking layers.
+
+Feedforward weights use the fluctuation-driven scaling common in SNN
+training (uniform in ``±1/sqrt(fan_in)``, as snnTorch/SpikingLR do for
+dense layers); recurrent weights get an extra damping ``gain`` so the
+recurrent loop starts below the self-excitation regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.errors import ConfigError
+
+__all__ = ["dense_init", "recurrent_init"]
+
+
+def dense_init(
+    rng: np.random.Generator, fan_in: int, fan_out: int, gain: float = 1.0
+) -> Tensor:
+    """Uniform ``±gain/sqrt(fan_in)`` dense weight matrix ``[fan_in, fan_out]``."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ConfigError(f"fan_in/fan_out must be positive, got {fan_in}/{fan_out}")
+    bound = gain / np.sqrt(fan_in)
+    weights = rng.uniform(-bound, bound, size=(fan_in, fan_out)).astype(np.float32)
+    return Tensor(weights, requires_grad=True)
+
+
+def recurrent_init(rng: np.random.Generator, size: int, gain: float = 0.5) -> Tensor:
+    """Damped recurrent weight matrix ``[size, size]`` with zeroed diagonal.
+
+    The zero diagonal removes immediate self-excitation, which otherwise
+    lets single neurons latch into permanent firing at low thresholds.
+    """
+    if size <= 0:
+        raise ConfigError(f"size must be positive, got {size}")
+    bound = gain / np.sqrt(size)
+    weights = rng.uniform(-bound, bound, size=(size, size)).astype(np.float32)
+    np.fill_diagonal(weights, 0.0)
+    return Tensor(weights, requires_grad=True)

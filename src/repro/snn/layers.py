@@ -1,0 +1,244 @@
+"""Spiking layers: recurrent LIF hidden layers and the leaky readout.
+
+Layout convention: spike/current sequences are **time-major** numpy
+arrays or Tensors of shape ``[T, B, N]`` (timesteps, batch, neurons).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, stack, zeros
+from repro.autograd.tensor import no_grad
+from repro.errors import ShapeError
+from repro.errors import ConfigError
+from repro.snn.init import dense_init, recurrent_init
+from repro.snn.neurons import LIFParameters, cuba_lif_step, lif_step
+from repro.snn.threshold import StaticThreshold, ThresholdController
+
+__all__ = ["RecurrentLIFLayer", "LeakyReadout"]
+
+
+class RecurrentLIFLayer:
+    """A dense feedforward projection into recurrent LIF neurons (Fig. 6a).
+
+    Each timestep computes
+
+        I[t]   = X[t] @ W_ff + S[t-1] @ W_rec
+        V, S   = lif_step(V, S, I[t])
+
+    where ``W_rec`` is present only when ``recurrent=True`` (the SHD
+    architecture of the paper uses recurrent hidden layers).
+
+    With ``synapse_alpha`` set, the neurons follow the current-based
+    (CuBa) dynamics instead: the projected input is low-pass filtered
+    through a synaptic current state with decay ``alpha`` before
+    integration (see :func:`repro.snn.neurons.cuba_lif_step`).
+    """
+
+    #: Default feedforward init gain.  Plain 1/sqrt(fan_in) leaves deep
+    #: layers silent at a threshold of 1.0 with sparse spike inputs; a
+    #: gain of 3 puts the initial membrane fluctuations near threshold so
+    #: spiking activity propagates through all hidden layers from epoch 0
+    #: (fluctuation-driven initialisation).
+    FF_GAIN = 3.0
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        params: LIFParameters,
+        recurrent: bool = True,
+        rng: np.random.Generator | None = None,
+        name: str = "lif",
+        ff_gain: float | None = None,
+        synapse_alpha: float | None = None,
+    ):
+        rng = rng or np.random.default_rng()
+        if synapse_alpha is not None and not 0.0 < synapse_alpha < 1.0:
+            raise ConfigError(
+                f"synapse_alpha must lie in (0, 1) or be None, got {synapse_alpha}"
+            )
+        self.n_in = int(n_in)
+        self.n_out = int(n_out)
+        self.params = params
+        self.recurrent = bool(recurrent)
+        self.name = name
+        self.synapse_alpha = synapse_alpha
+        self.w_ff = dense_init(rng, n_in, n_out, gain=ff_gain or self.FF_GAIN)
+        self.w_rec = recurrent_init(rng, n_out) if recurrent else None
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Tensor]:
+        params = [self.w_ff]
+        if self.w_rec is not None:
+            params.append(self.w_rec)
+        return params
+
+    def set_trainable(self, flag: bool) -> None:
+        """Freeze (False) or unfreeze (True) this layer's weights."""
+        for p in self.parameters():
+            p.requires_grad = bool(flag)
+
+    @property
+    def trainable(self) -> bool:
+        return any(p.requires_grad for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {"w_ff": self.w_ff.data.copy()}
+        if self.w_rec is not None:
+            state["w_rec"] = self.w_rec.data.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if state["w_ff"].shape != self.w_ff.data.shape:
+            raise ShapeError(
+                f"w_ff shape {state['w_ff'].shape} != {self.w_ff.data.shape}"
+            )
+        self.w_ff.data = state["w_ff"].copy()
+        if self.w_rec is not None:
+            self.w_rec.data = state["w_rec"].copy()
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        inputs: Tensor | np.ndarray,
+        controller: ThresholdController | None = None,
+    ) -> Tensor:
+        """Run the full sequence; return output spikes ``[T, B, n_out]``.
+
+        ``controller`` supplies the effective threshold per timestep
+        (Alg. 1); None means the layer's static ``params.threshold``.
+        When the layer is frozen (no trainable parameters) and the input
+        carries no gradient, the pass runs without building a tape.
+        """
+        x = inputs if isinstance(inputs, Tensor) else Tensor(inputs)
+        if x.ndim != 3:
+            raise ShapeError(f"expected [T, B, n_in] input, got shape {x.shape}")
+        if x.shape[2] != self.n_in:
+            raise ShapeError(
+                f"input feature dim {x.shape[2]} != layer fan-in {self.n_in}"
+            )
+        needs_graph = self.trainable or x.requires_grad
+        if needs_graph:
+            return self._forward_steps(x, controller)
+        with no_grad():
+            return self._forward_steps(x, controller)
+
+    def _forward_steps(
+        self, x: Tensor, controller: ThresholdController | None
+    ) -> Tensor:
+        timesteps, batch = x.shape[0], x.shape[1]
+        controller = controller or StaticThreshold(self.params.threshold)
+        membrane = zeros((batch, self.n_out))
+        spikes = zeros((batch, self.n_out))
+        syn = zeros((batch, self.n_out)) if self.synapse_alpha is not None else None
+        threshold = controller.value
+        outputs: list[Tensor] = []
+        for t in range(timesteps):
+            current = x[t] @ self.w_ff
+            if self.w_rec is not None:
+                current = current + spikes @ self.w_rec
+            if syn is not None:
+                membrane, syn, spikes = cuba_lif_step(
+                    membrane, syn, spikes, current, self.params,
+                    self.synapse_alpha, threshold,
+                )
+            else:
+                membrane, spikes = lif_step(
+                    membrane, spikes, current, self.params, threshold
+                )
+            outputs.append(spikes)
+            counts = spikes.data.sum(axis=0)  # per-neuron, batch-summed
+            threshold = controller.step(t, counts, counts * t)
+        return stack(outputs, axis=0)
+
+
+class LeakyReadout:
+    """Non-spiking leaky-integrator output layer (Fig. 6a readout).
+
+    Integrates projected input over time without firing.  Classification
+    logits reduce the membrane trajectory per class with ``readout_mode``:
+
+    - ``"mean"`` (default) — time-average of the membrane.  Every
+      timestep contributes gradient, which trains robustly even for
+      classes whose membrane never peaks (a max-over-time readout gives
+      silent classes near-zero gradient because their argmax lands on an
+      early, spike-free step).
+    - ``"max"`` — maximum membrane over time (the snnTorch-style
+      convention); kept for the readout ablation.
+    - ``"last"`` — final membrane value.
+    """
+
+    READOUT_MODES = ("mean", "max", "last")
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        beta: float = 0.95,
+        rng: np.random.Generator | None = None,
+        name: str = "readout",
+        readout_mode: str = "mean",
+    ):
+        rng = rng or np.random.default_rng()
+        if readout_mode not in self.READOUT_MODES:
+            raise ShapeError(
+                f"readout_mode must be one of {self.READOUT_MODES}, got {readout_mode!r}"
+            )
+        self.n_in = int(n_in)
+        self.n_out = int(n_out)
+        self.beta = float(beta)
+        self.name = name
+        self.readout_mode = readout_mode
+        self.w_ff = dense_init(rng, n_in, n_out)
+
+    def parameters(self) -> list[Tensor]:
+        return [self.w_ff]
+
+    def set_trainable(self, flag: bool) -> None:
+        for p in self.parameters():
+            p.requires_grad = bool(flag)
+
+    @property
+    def trainable(self) -> bool:
+        return self.w_ff.requires_grad
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"w_ff": self.w_ff.data.copy()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if state["w_ff"].shape != self.w_ff.data.shape:
+            raise ShapeError(
+                f"w_ff shape {state['w_ff'].shape} != {self.w_ff.data.shape}"
+            )
+        self.w_ff.data = state["w_ff"].copy()
+
+    def forward(self, inputs: Tensor | np.ndarray) -> Tensor:
+        """Integrate the sequence; return logits ``[B, n_out]``."""
+        x = inputs if isinstance(inputs, Tensor) else Tensor(inputs)
+        if x.ndim != 3:
+            raise ShapeError(f"expected [T, B, n_in] input, got shape {x.shape}")
+        if x.shape[2] != self.n_in:
+            raise ShapeError(
+                f"input feature dim {x.shape[2]} != readout fan-in {self.n_in}"
+            )
+        needs_graph = self.trainable or x.requires_grad
+        if not needs_graph:
+            with no_grad():
+                return self._integrate(x)
+        return self._integrate(x)
+
+    def _integrate(self, x: Tensor) -> Tensor:
+        timesteps, batch = x.shape[0], x.shape[1]
+        membrane = zeros((batch, self.n_out))
+        trajectory: list[Tensor] = []
+        for t in range(timesteps):
+            membrane = membrane * self.beta + x[t] @ self.w_ff
+            trajectory.append(membrane)
+        if self.readout_mode == "last":
+            return trajectory[-1]
+        stacked = stack(trajectory, axis=0)  # [T, B, C]
+        if self.readout_mode == "max":
+            return stacked.max(axis=0)
+        return stacked.mean(axis=0)

@@ -1,0 +1,139 @@
+"""Discrete-time Leaky Integrate-and-Fire dynamics (paper Eq. 1-2).
+
+The continuous dynamics
+
+    tau dV/dt = -(V - Vrst) + Z(t)
+
+are discretized with the standard exponential-Euler step used by the
+surrogate-gradient literature (and by the SpikingLR comparator):
+
+    V[t] = beta * V[t-1] * reset(S[t-1]) + I[t]        (hard reset)
+    V[t] = beta * V[t-1] - S[t-1] * Vthr + I[t]        (soft reset)
+    S[t] = Heaviside(V[t] - Vthr)
+
+with ``beta = exp(-dt / tau)`` and ``Vrst = 0``.  The Heaviside backward
+pass uses a surrogate gradient (see :mod:`repro.autograd.surrogate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd.surrogate import SurrogateSpec, fast_sigmoid_surrogate, spike
+from repro.errors import ConfigError
+
+__all__ = ["LIFParameters", "lif_step", "cuba_lif_step"]
+
+
+@dataclass(frozen=True)
+class LIFParameters:
+    """Per-layer neuron constants.
+
+    Attributes
+    ----------
+    beta:
+        Membrane decay per timestep, ``exp(-dt/tau)`` in Eq. (1).
+    threshold:
+        Baseline threshold potential ``Vthr``; may be overridden per
+        timestep by a threshold controller (Alg. 1).
+    reset_mode:
+        ``"zero"`` — hard reset to ``Vrst = 0`` after a spike (Eq. 2);
+        ``"subtract"`` — subtract ``Vthr`` (soft reset).
+    surrogate:
+        Pseudo-derivative family for the backward pass.
+    """
+
+    beta: float = 0.95
+    threshold: float = 1.0
+    reset_mode: str = "zero"
+    surrogate: SurrogateSpec = field(default_factory=fast_sigmoid_surrogate)
+
+    def __post_init__(self):
+        if not 0.0 < self.beta < 1.0:
+            raise ConfigError(f"beta must lie in (0, 1), got {self.beta}")
+        if self.threshold <= 0.0:
+            raise ConfigError(f"threshold must be positive, got {self.threshold}")
+        if self.reset_mode not in ("zero", "subtract"):
+            raise ConfigError(
+                f"reset_mode must be 'zero' or 'subtract', got {self.reset_mode!r}"
+            )
+
+
+def lif_step(
+    membrane: Tensor,
+    prev_spikes: Tensor,
+    current: Tensor,
+    params: LIFParameters,
+    threshold=None,
+) -> tuple[Tensor, Tensor]:
+    """Advance one LIF timestep.
+
+    Parameters
+    ----------
+    membrane:
+        ``V[t-1]``, shape ``[B, N]``.
+    prev_spikes:
+        ``S[t-1]``, shape ``[B, N]`` (binary).
+    current:
+        Input current ``I[t]`` (already projected through the weights).
+    params:
+        Neuron constants.
+    threshold:
+        Effective ``Vthr`` for this step: scalar, or a per-neuron array
+        ``[N]`` broadcast against the batch.  Defaults to
+        ``params.threshold``.  This is the hook the adaptive threshold
+        controllers (Alg. 1 lines 10-17 / 25-30) use to modulate
+        excitability per timestep.
+
+    Returns
+    -------
+    (membrane, spikes):
+        ``V[t]`` and ``S[t]``.
+    """
+    if threshold is None:
+        vthr = params.threshold
+    elif np.isscalar(threshold):
+        vthr = float(threshold)
+    else:
+        vthr = np.asarray(threshold, dtype=membrane.data.dtype)
+    if np.any(np.asarray(vthr) <= 0.0):
+        raise ConfigError(f"effective threshold must be positive, got {vthr}")
+
+    if params.reset_mode == "zero":
+        decayed = membrane * (1.0 - prev_spikes) * params.beta
+    else:
+        decayed = membrane * params.beta - prev_spikes * vthr
+    new_membrane = decayed + current
+    new_spikes = spike(new_membrane - vthr, params.surrogate)
+    return new_membrane, new_spikes
+
+
+def cuba_lif_step(
+    membrane: Tensor,
+    syn_current: Tensor,
+    prev_spikes: Tensor,
+    input_current: Tensor,
+    params: LIFParameters,
+    alpha: float,
+    threshold=None,
+) -> tuple[Tensor, Tensor, Tensor]:
+    """Advance one current-based (CuBa) LIF timestep.
+
+    The CuBa variant low-pass filters the input through a synaptic
+    current state before it reaches the membrane:
+
+        I[t] = alpha * I[t-1] + X[t] @ W
+        V[t] = beta * V[t-1] * reset(S[t-1]) + I[t]
+        S[t] = Heaviside(V[t] - Vthr)
+
+    ``alpha = exp(-dt/tau_syn)`` is the synaptic decay.  Returns
+    ``(membrane, syn_current, spikes)``.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ConfigError(f"synaptic alpha must lie in (0, 1), got {alpha}")
+    new_syn = syn_current * alpha + input_current
+    membrane, spikes = lif_step(membrane, prev_spikes, new_syn, params, threshold)
+    return membrane, new_syn, spikes

@@ -1,0 +1,74 @@
+"""Simulation trace containers consumed by the hardware cost models.
+
+A forward pass optionally records a :class:`SpikeTrace`: per-layer spike
+counts and dimensions.  The :mod:`repro.hw` package turns these into
+synaptic-operation (SOP), MAC, and memory-traffic counts — the basis of
+the latency/energy models that substitute for the paper's GPU
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LayerTraceEntry", "SpikeTrace"]
+
+
+@dataclass(frozen=True)
+class LayerTraceEntry:
+    """Per-layer activity record for one forward pass.
+
+    Attributes
+    ----------
+    name:
+        Layer identifier (``"hidden0"``, ..., ``"readout"``).
+    n_in / n_out:
+        Fan-in / fan-out of the dense projection.
+    recurrent:
+        Whether the layer has an ``n_out x n_out`` recurrent projection.
+    input_spike_count:
+        Total presynaptic events into the feedforward projection, summed
+        over timesteps and batch.
+    output_spike_count:
+        Total spikes emitted by the layer (0 for the readout).
+    timesteps / batch:
+        Temporal and batch extent of the pass.
+    """
+
+    name: str
+    n_in: int
+    n_out: int
+    recurrent: bool
+    input_spike_count: float
+    output_spike_count: float
+    timesteps: int
+    batch: int
+
+
+@dataclass
+class SpikeTrace:
+    """Activity trace of one forward pass (all layers)."""
+
+    entries: list[LayerTraceEntry] = field(default_factory=list)
+
+    def add(self, entry: LayerTraceEntry) -> None:
+        self.entries.append(entry)
+
+    @property
+    def total_spikes(self) -> float:
+        """All spikes emitted by hidden layers during the pass."""
+        return sum(e.output_spike_count for e in self.entries)
+
+    @property
+    def timesteps(self) -> int:
+        return self.entries[0].timesteps if self.entries else 0
+
+    @property
+    def batch(self) -> int:
+        return self.entries[0].batch if self.entries else 0
+
+    def merge(self, other: "SpikeTrace") -> "SpikeTrace":
+        """Concatenate two traces (e.g. frozen-part + learning-part passes)."""
+        merged = SpikeTrace()
+        merged.entries = list(self.entries) + list(other.entries)
+        return merged

@@ -1,0 +1,268 @@
+"""Threshold-potential controllers (paper §III-B and Alg. 1).
+
+The paper compensates for the information loss of reduced timesteps by
+adjusting the neuron threshold potential ``Vthr`` dynamically during the
+NCL phase:
+
+- on timesteps where spikes occur (checked every ``adjust_interval``
+  steps during network preparation, every step during NCL training),
+  ``Vthr = 1 + 0.01 * (Tstep - avg_spike_time)`` — later average spike
+  times pull the threshold down toward 1, early spiking raises it
+  slightly (Alg. 1 lines 12-13 / 26-27);
+- on silent timesteps, a sigmoidal decay ``Vthr = 1 / (1 + exp(-0.001 t))``
+  drops the threshold to about 0.5, making neurons easier to fire when
+  the reduced-timestep input provides too few spikes (lines 16 / 29).
+
+Controllers are stateful observers: the network calls
+:meth:`ThresholdController.step` once per timestep with the spike
+activity of that step, and receives the threshold to use for the next
+step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "ThresholdController",
+    "StaticThreshold",
+    "AdaptiveSpikeTimingThreshold",
+    "PerNeuronAdaptiveThreshold",
+]
+
+
+class ThresholdController:
+    """Interface: produces the effective ``Vthr`` per timestep.
+
+    ``step`` may return a scalar (one threshold for the whole layer) or a
+    per-neuron array ``[n]`` — the LIF step broadcasts either against the
+    membrane.
+    """
+
+    def reset(self) -> None:
+        """Restore initial state before a new sequence."""
+
+    def step(self, t: int, spike_counts, spike_time_sums):
+        """Observe timestep ``t`` activity and return ``Vthr`` for the next step.
+
+        Parameters
+        ----------
+        t:
+            Timestep index in ``0..T-1``.
+        spike_counts:
+            Spikes emitted at ``t``, summed over the batch, as a
+            per-neuron array ``[n]`` (scalar controllers reduce it).
+        spike_time_sums:
+            Per-neuron sums of spike times (each spike contributes
+            ``t``), so controllers can maintain running means.
+        """
+        raise NotImplementedError
+
+    @property
+    def value(self):
+        """Current threshold (scalar or ``[n]`` array)."""
+        raise NotImplementedError
+
+
+class StaticThreshold(ThresholdController):
+    """Constant ``Vthr`` — what SpikingLR and the pre-training phase use."""
+
+    def __init__(self, value: float = 1.0):
+        if value <= 0.0:
+            raise ConfigError(f"threshold must be positive, got {value}")
+        self._value = float(value)
+
+    def reset(self) -> None:  # noqa: D102 - stateless
+        pass
+
+    def step(self, t: int, spike_counts, spike_time_sums) -> float:
+        return self._value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"StaticThreshold({self._value:g})"
+
+
+class AdaptiveSpikeTimingThreshold(ThresholdController):
+    """Alg. 1's dynamic threshold policy.
+
+    Parameters
+    ----------
+    timesteps:
+        ``Tstep`` of the NCL phase — enters the spike-timing formula.
+    adjust_interval:
+        Spike-timing updates happen when ``t % adjust_interval == 0``
+        (Alg. 1 line 10); other steps use the sigmoidal decay.  Pass 1 to
+        update on every step (the NCL-training variant, lines 25-30).
+    gain:
+        The 0.01 coefficient of the spike-timing term.
+    decay_rate:
+        The 0.001 coefficient inside the sigmoidal decay.
+    floor / ceil:
+        Safety clamp keeping ``Vthr`` in a sane band; the paper's formulas
+        already stay within it for T <= 100, the clamp guards pathological
+        configurations.
+    """
+
+    def __init__(
+        self,
+        timesteps: int,
+        adjust_interval: int = 5,
+        gain: float = 0.01,
+        decay_rate: float = 0.001,
+        floor: float = 0.05,
+        ceil: float = 4.0,
+        initial: float = 1.0,
+    ):
+        if timesteps <= 0:
+            raise ConfigError(f"timesteps must be positive, got {timesteps}")
+        if adjust_interval <= 0:
+            raise ConfigError(f"adjust_interval must be positive, got {adjust_interval}")
+        if not 0.0 < floor < ceil:
+            raise ConfigError(f"need 0 < floor < ceil, got {floor}, {ceil}")
+        self.timesteps = int(timesteps)
+        self.adjust_interval = int(adjust_interval)
+        self.gain = float(gain)
+        self.decay_rate = float(decay_rate)
+        self.floor = float(floor)
+        self.ceil = float(ceil)
+        self.initial = float(initial)
+        self.reset()
+
+    def reset(self) -> None:
+        self._value = self.initial
+        self._spike_count = 0.0
+        self._spike_time_sum = 0.0
+
+    def step(self, t: int, spike_counts, spike_time_sums) -> float:
+        """Apply Alg. 1 lines 10-17 (interval > 1) or 25-30 (interval == 1)."""
+        self._spike_count += float(np.sum(spike_counts))
+        self._spike_time_sum += float(np.sum(spike_time_sums))
+
+        on_boundary = (t % self.adjust_interval) == 0
+        if on_boundary and self._spike_count > 0:
+            avg_spike_time = self._spike_time_sum / self._spike_count
+            self._value = 1.0 + self.gain * (self.timesteps - avg_spike_time)
+        elif not on_boundary or self._spike_count == 0:
+            # Sigmoidal decay toward ~0.5 lowers the barrier on silent
+            # intervals so fewer input spikes still reach threshold.
+            self._value = 1.0 / (1.0 + np.exp(-self.decay_rate * t))
+        self._value = float(np.clip(self._value, self.floor, self.ceil))
+        return self._value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def mean_spike_time(self) -> float | None:
+        """Running mean spike time, or None before any spike was seen."""
+        if self._spike_count == 0:
+            return None
+        return self._spike_time_sum / self._spike_count
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveSpikeTimingThreshold(T={self.timesteps}, "
+            f"interval={self.adjust_interval}, value={self._value:.3f})"
+        )
+
+
+class PerNeuronAdaptiveThreshold(ThresholdController):
+    """Per-neuron variant of the Alg. 1 policy (the deployed form).
+
+    Alg. 1 states the two rules — the spike-timing formula where spikes
+    occur and the sigmoidal decay where they do not — without fixing
+    their granularity.  Applied network-wide, any activity anywhere takes
+    the "spikes occur" branch, so the decay never fires and the
+    compensation the paper describes in §III-B ("reduce Vthr so fewer
+    incoming spikes still reach threshold") cannot happen.  Applied
+    **per neuron**, the policy becomes exactly that compensation: neurons
+    starved of input under the reduced timestep see their threshold decay
+    toward ~0.5 until they fire again, while active neurons follow the
+    spike-timing rule around the baseline.  This homeostatic reading is
+    what :class:`~repro.core.replay4ncl.Replay4NCL` deploys.
+
+    Parameters match :class:`AdaptiveSpikeTimingThreshold`, plus
+    ``num_neurons``.
+    """
+
+    def __init__(
+        self,
+        num_neurons: int,
+        timesteps: int,
+        adjust_interval: int = 5,
+        gain: float = 0.01,
+        decay_rate: float = 0.001,
+        floor: float = 0.05,
+        ceil: float = 4.0,
+        initial: float = 1.0,
+    ):
+        if num_neurons <= 0:
+            raise ConfigError(f"num_neurons must be positive, got {num_neurons}")
+        if timesteps <= 0:
+            raise ConfigError(f"timesteps must be positive, got {timesteps}")
+        if adjust_interval <= 0:
+            raise ConfigError(f"adjust_interval must be positive, got {adjust_interval}")
+        if not 0.0 < floor < ceil:
+            raise ConfigError(f"need 0 < floor < ceil, got {floor}, {ceil}")
+        self.num_neurons = int(num_neurons)
+        self.timesteps = int(timesteps)
+        self.adjust_interval = int(adjust_interval)
+        self.gain = float(gain)
+        self.decay_rate = float(decay_rate)
+        self.floor = float(floor)
+        self.ceil = float(ceil)
+        self.initial = float(initial)
+        self.reset()
+
+    def reset(self) -> None:
+        self._value = np.full(self.num_neurons, self.initial, dtype=np.float32)
+        self._spike_counts = np.zeros(self.num_neurons, dtype=np.float64)
+        self._spike_time_sums = np.zeros(self.num_neurons, dtype=np.float64)
+
+    def step(self, t: int, spike_counts, spike_time_sums) -> np.ndarray:
+        spike_counts = np.asarray(spike_counts, dtype=np.float64)
+        if spike_counts.shape != (self.num_neurons,):
+            raise ConfigError(
+                f"expected per-neuron counts of shape ({self.num_neurons},), "
+                f"got {spike_counts.shape}"
+            )
+        self._spike_counts += spike_counts
+        self._spike_time_sums += np.asarray(spike_time_sums, dtype=np.float64)
+
+        decay_value = 1.0 / (1.0 + np.exp(-self.decay_rate * t))
+        on_boundary = (t % self.adjust_interval) == 0
+        active = self._spike_counts > 0
+        if on_boundary:
+            with np.errstate(invalid="ignore", divide="ignore"):
+                avg = np.where(
+                    active, self._spike_time_sums / np.maximum(self._spike_counts, 1e-12), 0.0
+                )
+            timing_value = 1.0 + self.gain * (self.timesteps - avg)
+            self._value = np.where(active, timing_value, decay_value).astype(np.float32)
+        else:
+            # Off-boundary steps: silent neurons keep decaying; active
+            # neurons hold their last timing-rule value.
+            self._value = np.where(active, self._value, decay_value).astype(np.float32)
+        self._value = np.clip(self._value, self.floor, self.ceil)
+        return self._value
+
+    @property
+    def value(self) -> np.ndarray:
+        return self._value
+
+    @property
+    def mean_threshold(self) -> float:
+        return float(self._value.mean())
+
+    def __repr__(self) -> str:
+        return (
+            f"PerNeuronAdaptiveThreshold(n={self.num_neurons}, T={self.timesteps}, "
+            f"interval={self.adjust_interval}, mean={self.mean_threshold:.3f})"
+        )

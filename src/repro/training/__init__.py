@@ -1,0 +1,38 @@
+"""Training substrate: optimizers, losses, the BPTT trainer, metrics.
+
+The paper trains with surrogate-gradient BPTT (§II-B) and Adam; the NCL
+phase differs only in which parameters are trainable, which data is fed
+(current ∪ latent replay) and the learning-rate / threshold policies.
+The :class:`Trainer` here is phase-agnostic: methods in
+:mod:`repro.core` compose it.
+"""
+
+from repro.training.losses import spike_count_regularizer, readout_cross_entropy
+from repro.training.metrics import (
+    EpochRecord,
+    TrainingHistory,
+    forgetting,
+    per_class_accuracy,
+    top1_accuracy,
+)
+from repro.training.optimizers import SGD, Adam, Optimizer
+from repro.training.schedules import ConstantSchedule, ExponentialDecaySchedule, StepSchedule
+from repro.training.trainer import Trainer, TrainerConfig
+
+__all__ = [
+    "Optimizer",
+    "Adam",
+    "SGD",
+    "readout_cross_entropy",
+    "spike_count_regularizer",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "EpochRecord",
+    "top1_accuracy",
+    "per_class_accuracy",
+    "forgetting",
+    "ConstantSchedule",
+    "ExponentialDecaySchedule",
+    "StepSchedule",
+]

@@ -1,0 +1,119 @@
+"""Training callbacks: early stopping and in-memory checkpointing.
+
+Used with :meth:`Trainer.fit`'s ``epoch_callback`` hook.  Callbacks are
+plain callables over :class:`~repro.training.metrics.EpochRecord`;
+:class:`CallbackList` composes several.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.snn.network import SpikingNetwork
+from repro.training.metrics import EpochRecord
+
+__all__ = ["EarlyStopping", "BestCheckpoint", "CallbackList"]
+
+
+class EarlyStopping:
+    """Raise :class:`StopTraining` when a metric stops improving.
+
+    Because :meth:`Trainer.fit` drives the loop, stopping is signalled
+    by the :attr:`should_stop` flag, which the caller checks between
+    epochs (the figure experiments run fixed budgets and ignore it; the
+    examples use it for interactive runs).
+    """
+
+    def __init__(
+        self,
+        metric: str = "loss",
+        patience: int = 5,
+        min_delta: float = 0.0,
+        mode: str = "min",
+    ):
+        if patience <= 0:
+            raise ConfigError(f"patience must be positive, got {patience}")
+        if mode not in ("min", "max"):
+            raise ConfigError(f"mode must be 'min' or 'max', got {mode!r}")
+        if min_delta < 0:
+            raise ConfigError(f"min_delta must be >= 0, got {min_delta}")
+        self.metric = metric
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.mode = mode
+        self.best: float | None = None
+        self.stale_epochs = 0
+        self.should_stop = False
+
+    def __call__(self, record: EpochRecord) -> None:
+        value = getattr(record, self.metric, None)
+        if value is None:
+            return
+        improved = (
+            self.best is None
+            or (self.mode == "min" and value < self.best - self.min_delta)
+            or (self.mode == "max" and value > self.best + self.min_delta)
+        )
+        if improved:
+            self.best = value
+            self.stale_epochs = 0
+        else:
+            self.stale_epochs += 1
+            if self.stale_epochs >= self.patience:
+                self.should_stop = True
+
+
+class BestCheckpoint:
+    """Keep the network weights of the best epoch (in memory).
+
+    >>> checkpoint = BestCheckpoint(network, metric="old_task_accuracy", mode="max")
+    >>> history = trainer.fit(x, y, epoch_callback=checkpoint)   # doctest: +SKIP
+    >>> checkpoint.restore()                                     # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        network: SpikingNetwork,
+        metric: str = "loss",
+        mode: str = "min",
+    ):
+        if mode not in ("min", "max"):
+            raise ConfigError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.network = network
+        self.metric = metric
+        self.mode = mode
+        self.best: float | None = None
+        self.best_epoch: int | None = None
+        self._state: dict | None = None
+
+    def __call__(self, record: EpochRecord) -> None:
+        value = getattr(record, self.metric, None)
+        if value is None:
+            return
+        better = (
+            self.best is None
+            or (self.mode == "min" and value < self.best)
+            or (self.mode == "max" and value > self.best)
+        )
+        if better:
+            self.best = value
+            self.best_epoch = record.epoch
+            self._state = self.network.state_dict()
+
+    def restore(self) -> None:
+        """Load the best snapshot back into the network."""
+        if self._state is None:
+            raise ConfigError("no checkpoint captured yet")
+        self.network.load_state_dict(self._state)
+
+
+class CallbackList:
+    """Compose several epoch callbacks into one."""
+
+    def __init__(self, callbacks: list[Callable[[EpochRecord], None]]):
+        self.callbacks = list(callbacks)
+
+    def __call__(self, record: EpochRecord) -> None:
+        for callback in self.callbacks:
+            callback(record)

@@ -1,0 +1,56 @@
+"""Learning-rate schedules.
+
+The paper uses constant rates per phase (eta_pre, eta_cl = eta_pre/100);
+the step/exponential schedules support the learning-rate-policy ablation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["ConstantSchedule", "ExponentialDecaySchedule", "StepSchedule"]
+
+
+class ConstantSchedule:
+    """``lr(epoch) = base`` — the paper's per-phase policy."""
+
+    def __init__(self, base: float):
+        if base <= 0:
+            raise ConfigError(f"base learning rate must be positive, got {base}")
+        self.base = float(base)
+
+    def __call__(self, epoch: int) -> float:
+        return self.base
+
+
+class ExponentialDecaySchedule:
+    """``lr(epoch) = base * decay^epoch``."""
+
+    def __init__(self, base: float, decay: float):
+        if base <= 0:
+            raise ConfigError(f"base learning rate must be positive, got {base}")
+        if not 0.0 < decay <= 1.0:
+            raise ConfigError(f"decay must lie in (0, 1], got {decay}")
+        self.base = float(base)
+        self.decay = float(decay)
+
+    def __call__(self, epoch: int) -> float:
+        return self.base * self.decay**epoch
+
+
+class StepSchedule:
+    """Divide the rate by ``factor`` every ``step_every`` epochs."""
+
+    def __init__(self, base: float, step_every: int, factor: float = 10.0):
+        if base <= 0:
+            raise ConfigError(f"base learning rate must be positive, got {base}")
+        if step_every <= 0:
+            raise ConfigError(f"step_every must be positive, got {step_every}")
+        if factor <= 1.0:
+            raise ConfigError(f"factor must exceed 1, got {factor}")
+        self.base = float(base)
+        self.step_every = int(step_every)
+        self.factor = float(factor)
+
+    def __call__(self, epoch: int) -> float:
+        return self.base / self.factor ** (epoch // self.step_every)

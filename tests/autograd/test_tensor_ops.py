@@ -1,0 +1,339 @@
+"""Gradient correctness of every Tensor primitive, checked numerically."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, concat, gradcheck, maximum, stack, tensor, where, zeros
+from repro.autograd.tensor import _unbroadcast
+from repro.errors import GradientError, ShapeError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+class TestElementwise:
+    def test_add(self, rng):
+        assert gradcheck(lambda a, b: a + b, [rng.standard_normal((3, 4)), rng.standard_normal((3, 4))])
+
+    def test_add_broadcast(self, rng):
+        assert gradcheck(lambda a, b: a + b, [rng.standard_normal((3, 1)), rng.standard_normal((1, 4))])
+
+    def test_add_scalar_operand(self, rng):
+        assert gradcheck(lambda a: a + 3.0, [rng.standard_normal((2, 3))])
+
+    def test_radd(self, rng):
+        assert gradcheck(lambda a: 3.0 + a, [rng.standard_normal((2, 3))])
+
+    def test_sub(self, rng):
+        assert gradcheck(lambda a, b: a - b, [rng.standard_normal((3, 4)), rng.standard_normal((3, 4))])
+
+    def test_rsub(self, rng):
+        assert gradcheck(lambda a: 1.0 - a, [rng.standard_normal((3, 4))])
+
+    def test_mul(self, rng):
+        assert gradcheck(lambda a, b: a * b, [rng.standard_normal((3, 4)), rng.standard_normal((3, 4))])
+
+    def test_mul_broadcast_vector(self, rng):
+        assert gradcheck(lambda a, b: a * b, [rng.standard_normal((4,)), rng.standard_normal((3, 4))])
+
+    def test_div(self, rng):
+        b = rng.standard_normal((3, 4))
+        b = np.sign(b) * (np.abs(b) + 1.0)  # keep away from zero
+        assert gradcheck(lambda a, b: a / b, [rng.standard_normal((3, 4)), b])
+
+    def test_rdiv(self, rng):
+        a = np.abs(rng.standard_normal((3, 4))) + 1.0
+        assert gradcheck(lambda a: 2.0 / a, [a])
+
+    def test_neg(self, rng):
+        assert gradcheck(lambda a: -a, [rng.standard_normal((3, 4))])
+
+    def test_pow(self, rng):
+        a = np.abs(rng.standard_normal((3, 4))) + 0.5
+        assert gradcheck(lambda a: a**3.0, [a])
+
+    def test_pow_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            tensor([1.0]) ** tensor([2.0])
+
+    def test_exp(self, rng):
+        assert gradcheck(lambda a: a.exp(), [rng.standard_normal((3, 4))])
+
+    def test_log(self, rng):
+        a = np.abs(rng.standard_normal((3, 4))) + 0.5
+        assert gradcheck(lambda a: a.log(), [a])
+
+    def test_sqrt(self, rng):
+        a = np.abs(rng.standard_normal((3, 4))) + 0.5
+        assert gradcheck(lambda a: a.sqrt(), [a])
+
+    def test_abs(self, rng):
+        a = rng.standard_normal((3, 4))
+        a = np.sign(a) * (np.abs(a) + 0.3)  # keep away from the kink
+        assert gradcheck(lambda a: a.abs(), [a])
+
+    def test_clip(self, rng):
+        a = rng.standard_normal((5, 5)) * 2.0
+        # offset values away from the clip boundaries where the gradient is discontinuous
+        a = a + 0.05 * np.sign(a)
+        assert gradcheck(lambda a: a.clip(-1.0, 1.0), [a])
+
+
+class TestMatmul:
+    def test_matrix_matrix(self, rng):
+        assert gradcheck(lambda a, b: a @ b, [rng.standard_normal((3, 4)), rng.standard_normal((4, 5))])
+
+    def test_vector_matrix(self, rng):
+        assert gradcheck(lambda a, b: a @ b, [rng.standard_normal((4,)), rng.standard_normal((4, 5))])
+
+    def test_matrix_vector(self, rng):
+        assert gradcheck(lambda a, b: a @ b, [rng.standard_normal((3, 4)), rng.standard_normal((4,))])
+
+    def test_vector_vector(self, rng):
+        assert gradcheck(lambda a, b: a @ b, [rng.standard_normal((4,)), rng.standard_normal((4,))])
+
+    def test_batched(self, rng):
+        assert gradcheck(
+            lambda a, b: a @ b,
+            [rng.standard_normal((2, 3, 4)), rng.standard_normal((2, 4, 5))],
+        )
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        assert gradcheck(lambda a: a.sum(), [rng.standard_normal((3, 4))])
+
+    def test_sum_axis(self, rng):
+        assert gradcheck(lambda a: a.sum(axis=0), [rng.standard_normal((3, 4))])
+
+    def test_sum_keepdims(self, rng):
+        assert gradcheck(lambda a: a.sum(axis=1, keepdims=True), [rng.standard_normal((3, 4))])
+
+    def test_mean_all(self, rng):
+        assert gradcheck(lambda a: a.mean(), [rng.standard_normal((3, 4))])
+
+    def test_mean_axis(self, rng):
+        assert gradcheck(lambda a: a.mean(axis=1), [rng.standard_normal((3, 4))])
+
+    def test_max_all(self, rng):
+        a = rng.standard_normal((3, 4))
+        assert gradcheck(lambda a: a.max(), [a])
+
+    def test_max_axis(self, rng):
+        a = rng.standard_normal((3, 4))
+        assert gradcheck(lambda a: a.max(axis=1), [a])
+
+    def test_max_tie_splits_gradient(self):
+        x = tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        x.max(axis=1).backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+    def test_min(self, rng):
+        a = rng.standard_normal((3, 4))
+        assert gradcheck(lambda a: a.min(axis=0), [a])
+
+
+class TestShapeOps:
+    def test_reshape(self, rng):
+        assert gradcheck(lambda a: a.reshape(2, 6), [rng.standard_normal((3, 4))])
+
+    def test_reshape_tuple_arg(self, rng):
+        assert gradcheck(lambda a: a.reshape((12,)), [rng.standard_normal((3, 4))])
+
+    def test_transpose_default(self, rng):
+        assert gradcheck(lambda a: a.transpose(), [rng.standard_normal((3, 4))])
+
+    def test_transpose_axes(self, rng):
+        assert gradcheck(lambda a: a.transpose(2, 0, 1), [rng.standard_normal((2, 3, 4))])
+
+    def test_T_property(self, rng):
+        a = tensor(rng.standard_normal((3, 4)))
+        np.testing.assert_array_equal(a.T.data, a.data.T)
+
+    def test_getitem_slice(self, rng):
+        assert gradcheck(lambda a: a[1:, :2], [rng.standard_normal((3, 4))])
+
+    def test_getitem_int_index(self, rng):
+        assert gradcheck(lambda a: a[0], [rng.standard_normal((3, 4))])
+
+    def test_getitem_fancy(self, rng):
+        idx = np.array([0, 2, 2])
+        assert gradcheck(lambda a: a[idx], [rng.standard_normal((3, 4))])
+
+    def test_stack(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((3, 4))
+        assert gradcheck(lambda a, b: stack([a, b], axis=1), [a, b])
+
+    def test_concat(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((2, 4))
+        assert gradcheck(lambda a, b: concat([a, b], axis=0), [a, b])
+
+    def test_stack_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            stack([])
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            concat([])
+
+
+class TestSelectOps:
+    def test_where(self, rng):
+        cond = rng.standard_normal((3, 4)) > 0
+        assert gradcheck(lambda a, b: where(cond, a, b), [rng.standard_normal((3, 4)), rng.standard_normal((3, 4))])
+
+    def test_maximum(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((3, 4))
+        assert gradcheck(lambda a, b: maximum(a, b), [a, b])
+
+    def test_maximum_tie_splits(self):
+        a = tensor(np.array([1.0]), requires_grad=True)
+        b = tensor(np.array([1.0]), requires_grad=True)
+        maximum(a, b).backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [0.5])
+
+
+class TestBackwardSemantics:
+    def test_grad_accumulates_across_backward_calls(self):
+        x = tensor([2.0], requires_grad=True)
+        (x * 3.0).backward(np.array([1.0]))
+        (x * 3.0).backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        x = tensor([1.0], requires_grad=True)
+        y = x * 2.0
+        z = y + y  # two paths through y
+        z.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_backward_on_nongrad_tensor_raises(self):
+        with pytest.raises(GradientError):
+            tensor([1.0]).backward()
+
+    def test_backward_nonscalar_without_grad_raises(self):
+        x = tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(GradientError):
+            (x * 2.0).backward()
+
+    def test_backward_shape_mismatch_raises(self):
+        x = tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ShapeError):
+            (x * 2.0).backward(np.ones((3,)))
+
+    def test_zero_grad(self):
+        x = tensor([1.0], requires_grad=True)
+        (x * 2.0).backward(np.array([1.0]))
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_detach_cuts_graph(self):
+        x = tensor([1.0], requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+
+    def test_item(self):
+        assert tensor([3.5]).item() == pytest.approx(3.5)
+
+    def test_item_nonscalar_raises(self):
+        with pytest.raises(ShapeError):
+            tensor([1.0, 2.0]).item()
+
+    def test_repr_contains_flag(self):
+        assert "requires_grad" in repr(tensor([1.0], requires_grad=True))
+
+    def test_len(self):
+        assert len(tensor([[1.0], [2.0]])) == 2
+
+    def test_comparison_returns_bool_array(self):
+        x = tensor([1.0, -1.0])
+        assert (x > 0).dtype == bool
+        assert (x >= 0).tolist() == [True, False]
+        assert (x < 0).tolist() == [False, True]
+        assert (x <= -1).tolist() == [False, True]
+
+
+class TestNoGrad:
+    def test_no_grad_disables_recording(self):
+        from repro.autograd import no_grad
+
+        x = tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._parents == ()
+
+    def test_no_grad_restores_state(self):
+        from repro.autograd import is_grad_enabled, no_grad
+
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        from repro.autograd import is_grad_enabled, no_grad
+
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((3, 4))
+        assert _unbroadcast(g, (3, 4)).shape == (3, 4)
+
+    def test_sum_leading(self):
+        g = np.ones((5, 3, 4))
+        assert _unbroadcast(g, (3, 4)).shape == (3, 4)
+
+    def test_sum_kept_dims(self):
+        g = np.ones((3, 4))
+        out = _unbroadcast(g, (3, 1))
+        assert out.shape == (3, 1)
+        np.testing.assert_allclose(out, 4.0 * np.ones((3, 1)))
+
+    def test_scalar_target(self):
+        g = np.ones((2, 2))
+        out = _unbroadcast(g, ())
+        assert out.shape == ()
+        assert out == 4.0
+
+
+class TestCreation:
+    def test_zeros_ones(self):
+        assert zeros((2, 3)).data.sum() == 0.0
+        from repro.autograd import ones
+
+        assert ones((2, 3)).data.sum() == 6.0
+
+    def test_randn_seeded(self):
+        from repro.autograd import randn
+
+        a = randn((3, 3), rng=np.random.default_rng(7))
+        b = randn((3, 3), rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_default_dtype_is_float32(self):
+        assert tensor([1, 2, 3]).dtype == np.float32
+
+    def test_float64_preserved(self):
+        assert tensor(np.zeros(3, dtype=np.float64)).dtype == np.float64
+
+    def test_tensor_from_tensor(self):
+        a = tensor([1.0, 2.0])
+        b = Tensor(a)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_copy_preserves_flag(self):
+        a = tensor([1.0], requires_grad=True)
+        b = a.copy()
+        assert b.requires_grad
+        b.data[0] = 9.0
+        assert a.data[0] == 1.0

@@ -1,0 +1,137 @@
+"""Tests for the lossless bitpack and address-event codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import AddressEventCodec, BitpackCodec, compare_codecs
+from repro.errors import CodecError
+
+
+@pytest.fixture
+def raster():
+    rng = np.random.default_rng(0)
+    return (rng.random((20, 4, 6)) < 0.3).astype(np.float32)
+
+
+class TestBitpack:
+    def test_roundtrip_exact(self, raster):
+        codec = BitpackCodec()
+        packed, shape = codec.compress(raster)
+        np.testing.assert_array_equal(codec.decompress(packed, shape), raster)
+
+    def test_packed_bytes(self):
+        codec = BitpackCodec()
+        assert codec.packed_bytes((8, 1)) == 1
+        assert codec.packed_bytes((9, 1)) == 2
+        assert codec.packed_bytes((50, 40)) == 250
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(CodecError):
+            BitpackCodec().compress(np.full((4, 4), 0.5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(CodecError):
+            BitpackCodec().compress(np.zeros((0, 4)))
+
+    def test_decompress_validation(self):
+        codec = BitpackCodec()
+        with pytest.raises(CodecError):
+            codec.decompress(np.zeros(1, dtype=np.float32), (8,))
+        with pytest.raises(CodecError):
+            codec.decompress(np.zeros(1, dtype=np.uint8), (100,))
+
+    @given(st.integers(min_value=1, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, n):
+        rng = np.random.default_rng(n)
+        raster = (rng.random((n, 7)) < 0.5).astype(np.float32)
+        codec = BitpackCodec()
+        packed, shape = codec.compress(raster)
+        assert packed.size == codec.packed_bytes(shape)
+        np.testing.assert_array_equal(codec.decompress(packed, shape), raster)
+
+
+class TestAddressEvent:
+    def test_roundtrip_exact(self, raster):
+        codec = AddressEventCodec()
+        times, channels, shape = codec.compress(raster)
+        np.testing.assert_array_equal(codec.decompress(times, channels, shape), raster)
+
+    def test_compressed_bytes(self):
+        codec = AddressEventCodec(time_bytes=2, channel_bytes=2)
+        assert codec.bytes_per_event == 4
+        assert codec.compressed_bytes(100) == 400
+
+    def test_empty_raster(self):
+        codec = AddressEventCodec()
+        raster = np.zeros((5, 4), dtype=np.float32)
+        times, channels, shape = codec.compress(raster)
+        assert times.size == 0
+        np.testing.assert_array_equal(codec.decompress(times, channels, shape), raster)
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(CodecError):
+            AddressEventCodec().compress(np.full((4, 4), 2.0))
+
+    def test_rejects_1d(self):
+        with pytest.raises(CodecError):
+            AddressEventCodec().compress(np.zeros(4))
+
+    def test_rejects_coordinate_overflow(self):
+        codec = AddressEventCodec(time_bytes=1)
+        with pytest.raises(CodecError):
+            codec.compress(np.zeros((300, 4), dtype=np.float32))
+
+    def test_decompress_validation(self):
+        codec = AddressEventCodec()
+        with pytest.raises(CodecError):
+            codec.decompress(np.array([0]), np.array([0, 1]), (5, 4))
+        with pytest.raises(CodecError):
+            codec.decompress(np.array([9]), np.array([0]), (5, 4))
+
+    def test_validation_of_widths(self):
+        with pytest.raises(CodecError):
+            AddressEventCodec(time_bytes=0)
+
+    def test_negative_event_count(self):
+        with pytest.raises(CodecError):
+            AddressEventCodec().compressed_bytes(-1)
+
+
+class TestCompareCodecs:
+    def test_returns_three(self, raster):
+        stats = compare_codecs(raster)
+        assert len(stats) == 3
+
+    def test_lossless_codecs_retain_spikes(self, raster):
+        stats = compare_codecs(raster)
+        assert stats[0].spike_retention == 1.0  # bitpack
+        assert stats[1].spike_retention == 1.0  # AER
+
+    def test_subsample_is_lossy(self, raster):
+        stats = compare_codecs(raster, subsample_factor=2)
+        assert stats[2].spike_retention < 1.0
+        assert not stats[2].lossless
+
+    def test_subsample_halves_storage(self, raster):
+        stats = compare_codecs(raster, subsample_factor=2)
+        assert stats[2].stored_bytes == pytest.approx(stats[0].stored_bytes / 2, rel=0.1)
+
+    def test_aer_wins_on_sparse_data(self):
+        raster = np.zeros((100, 100), dtype=np.float32)
+        raster[0, 0] = 1.0  # single spike
+        stats = compare_codecs(raster)
+        aer = stats[1]
+        bitpack = stats[0]
+        assert aer.stored_bytes < bitpack.stored_bytes
+
+    def test_bitpack_wins_on_dense_data(self):
+        raster = np.ones((100, 100), dtype=np.float32)
+        stats = compare_codecs(raster)
+        assert stats[0].stored_bytes < stats[1].stored_bytes
+
+    def test_compression_ratio(self, raster):
+        stats = compare_codecs(raster)
+        assert stats[0].compression_ratio == 1.0  # baseline is bitpacked

@@ -1,0 +1,98 @@
+"""Tests for the Fig. 7 temporal-subsampling codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import TemporalSubsampleCodec
+from repro.errors import CodecError
+
+
+class TestFig7Example:
+    """The exact worked example from paper Fig. 7 (factor 2)."""
+
+    ORIGINAL = np.array([1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1, 1, 1, 0], dtype=np.float32)
+    COMPRESSED = np.array([1, 0, 0, 0, 1, 1, 1], dtype=np.float32)
+    DECOMPRESSED = np.array([1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 0, 1, 0], dtype=np.float32)
+
+    def test_compress_matches_paper(self):
+        codec = TemporalSubsampleCodec(2)
+        out = codec.compress(self.ORIGINAL[:, None])
+        np.testing.assert_array_equal(out[:, 0], self.COMPRESSED)
+
+    def test_decompress_matches_paper(self):
+        codec = TemporalSubsampleCodec(2)
+        out = codec.decompress(self.COMPRESSED[:, None], 14)
+        np.testing.assert_array_equal(out[:, 0], self.DECOMPRESSED)
+
+    def test_roundtrip_matches_paper(self):
+        codec = TemporalSubsampleCodec(2)
+        out = codec.roundtrip(self.ORIGINAL[:, None])
+        np.testing.assert_array_equal(out[:, 0], self.DECOMPRESSED)
+
+
+class TestMechanics:
+    def test_factor_one_is_identity(self):
+        codec = TemporalSubsampleCodec(1)
+        raster = np.eye(5, dtype=np.float32)
+        np.testing.assert_array_equal(codec.roundtrip(raster), raster)
+
+    def test_compressed_length(self):
+        codec = TemporalSubsampleCodec(2)
+        assert codec.compressed_length(14) == 7
+        assert codec.compressed_length(15) == 8
+        assert TemporalSubsampleCodec(4).compressed_length(100) == 25
+
+    def test_decompress_length_mismatch(self):
+        codec = TemporalSubsampleCodec(2)
+        with pytest.raises(CodecError):
+            codec.decompress(np.zeros((3, 1)), 14)  # needs 7 frames
+
+    def test_validation(self):
+        with pytest.raises(CodecError):
+            TemporalSubsampleCodec(0)
+        with pytest.raises(CodecError):
+            TemporalSubsampleCodec(1.5)
+        with pytest.raises(CodecError):
+            TemporalSubsampleCodec(2).compressed_length(0)
+        with pytest.raises(CodecError):
+            TemporalSubsampleCodec(2).compress(np.zeros((0, 3)))
+
+    def test_multidimensional_rasters(self):
+        rng = np.random.default_rng(0)
+        raster = (rng.random((20, 4, 6)) < 0.3).astype(np.float32)
+        codec = TemporalSubsampleCodec(4)
+        out = codec.roundtrip(raster)
+        assert out.shape == raster.shape
+
+    @given(
+        factor=st.integers(min_value=1, max_value=6),
+        timesteps=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_properties(self, factor, timesteps):
+        rng = np.random.default_rng(factor * 100 + timesteps)
+        raster = (rng.random((timesteps, 3)) < 0.4).astype(np.float32)
+        codec = TemporalSubsampleCodec(factor)
+        compressed = codec.compress(raster)
+        assert compressed.shape[0] == codec.compressed_length(timesteps)
+        restored = codec.decompress(compressed, timesteps)
+        assert restored.shape == raster.shape
+        # Kept frames are exact; dropped frames are zero.
+        np.testing.assert_array_equal(restored[::factor], raster[::factor])
+        mask = np.ones(timesteps, dtype=bool)
+        mask[::factor] = False
+        assert restored[mask].sum() == 0.0
+        # Lossy only downward.
+        assert restored.sum() <= raster.sum()
+
+    @given(factor=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_idempotent(self, factor):
+        rng = np.random.default_rng(factor)
+        raster = (rng.random((30, 2)) < 0.5).astype(np.float32)
+        codec = TemporalSubsampleCodec(factor)
+        once = codec.roundtrip(raster)
+        twice = codec.roundtrip(once)
+        np.testing.assert_array_equal(once, twice)

@@ -1,0 +1,34 @@
+"""Shared fixtures for core-method tests: one tiny pre-trained network.
+
+Pre-training is the expensive step, so it runs once per session at the
+``ci`` scale and every test clones from it (methods never mutate the
+pre-trained network).
+"""
+
+import pytest
+
+from repro.core.pipeline import pretrain
+from repro.data.synthetic_shd import SyntheticSHD
+from repro.data.tasks import make_class_incremental
+from repro.eval.scale import get_scale
+
+
+@pytest.fixture(scope="session")
+def ci_preset():
+    return get_scale("ci")
+
+
+@pytest.fixture(scope="session")
+def ci_split(ci_preset):
+    generator = SyntheticSHD(ci_preset.shd, seed=ci_preset.experiment.seed)
+    return make_class_incremental(
+        generator,
+        ci_preset.experiment.samples_per_class,
+        ci_preset.experiment.test_samples_per_class,
+        num_pretrain_classes=ci_preset.experiment.num_pretrain_classes,
+    )
+
+
+@pytest.fixture(scope="session")
+def ci_pretrained(ci_preset, ci_split):
+    return pretrain(ci_preset.experiment, ci_split)

@@ -1,0 +1,62 @@
+"""Tests for latent-buffer budget fitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.latent_replay import LatentReplayBuffer
+from repro.compression import TemporalSubsampleCodec
+from repro.errors import ConfigError
+
+
+def make_buffer(num_samples=12, frames=10, channels=16, num_classes=3):
+    rng = np.random.default_rng(0)
+    compressed = (rng.random((frames, num_samples, channels)) < 0.2).astype(np.float32)
+    labels = np.arange(num_samples) % num_classes
+    return LatentReplayBuffer(
+        compressed=compressed,
+        labels=labels,
+        insertion_layer=1,
+        generated_timesteps=frames,
+        codec=TemporalSubsampleCodec(1),
+    )
+
+
+class TestFitBudget:
+    def test_noop_when_within_budget(self):
+        buffer = make_buffer()
+        fitted = buffer.fit_budget(10**9, np.random.default_rng(0))
+        assert fitted is buffer
+
+    def test_shrinks_to_budget(self):
+        buffer = make_buffer()
+        budget = buffer.storage_bytes() // 2
+        fitted = buffer.fit_budget(budget, np.random.default_rng(0))
+        assert fitted.storage_bytes() <= budget
+        assert fitted.num_samples < buffer.num_samples
+
+    def test_keeps_every_class(self):
+        buffer = make_buffer(num_samples=12, num_classes=3)
+        budget = buffer.storage_bytes() // 3
+        fitted = buffer.fit_budget(budget, np.random.default_rng(0))
+        assert sorted(set(fitted.labels.tolist())) == [0, 1, 2]
+
+    def test_balanced_selection(self):
+        buffer = make_buffer(num_samples=12, num_classes=3)
+        # Keep 6 samples -> expect 2 per class from round-robin.
+        bytes_per_sample = buffer.storage_bytes() // 12 + 1
+        fitted = buffer.fit_budget(bytes_per_sample * 6, np.random.default_rng(0))
+        counts = np.bincount(fitted.labels, minlength=3)
+        assert counts.max() - counts.min() <= 1
+
+    def test_impossible_budget_raises(self):
+        buffer = make_buffer()
+        with pytest.raises(ConfigError):
+            buffer.fit_budget(1, np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            buffer.fit_budget(0, np.random.default_rng(0))
+
+    def test_fitted_buffer_is_independent_copy(self):
+        buffer = make_buffer()
+        fitted = buffer.fit_budget(buffer.storage_bytes() // 2, np.random.default_rng(0))
+        fitted.compressed[0, 0, 0] = 99.0
+        assert not np.any(buffer.compressed == 99.0)

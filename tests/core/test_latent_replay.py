@@ -1,0 +1,136 @@
+"""Tests for LatentReplayBuffer."""
+
+import numpy as np
+import pytest
+
+from repro.core.latent_replay import HEADER_BYTES_PER_SAMPLE, LatentReplayBuffer
+from repro.compression import TemporalSubsampleCodec
+from repro.errors import CodecError, ConfigError
+
+
+@pytest.fixture(scope="module")
+def buffer_and_inputs(ci_pretrained, ci_split, ci_preset):
+    exp = ci_preset.experiment
+    replay = ci_split.pretrain_train.sample_fraction(
+        0.5, np.random.default_rng(0)
+    )
+    buffer = LatentReplayBuffer.generate(
+        ci_pretrained.network,
+        replay,
+        insertion_layer=2,
+        timesteps=exp.pretrain.timesteps,
+        compression_factor=2,
+    )
+    return buffer, replay
+
+
+class TestGeneration:
+    def test_geometry(self, buffer_and_inputs, ci_pretrained, ci_preset):
+        buffer, replay = buffer_and_inputs
+        t = ci_preset.experiment.pretrain.timesteps
+        assert buffer.stored_frames == (t + 1) // 2
+        assert buffer.num_samples == len(replay)
+        assert buffer.num_channels == ci_pretrained.network.layer_input_size(2)
+
+    def test_labels_preserved(self, buffer_and_inputs):
+        buffer, replay = buffer_and_inputs
+        np.testing.assert_array_equal(buffer.labels, replay.labels)
+
+    def test_binary_content(self, buffer_and_inputs):
+        buffer, _ = buffer_and_inputs
+        assert set(np.unique(buffer.compressed)).issubset({0.0, 1.0})
+
+    def test_layer0_stores_raw_input(self, ci_pretrained, ci_split, ci_preset):
+        replay = ci_split.pretrain_train.subset([0, 1])
+        t = ci_preset.experiment.pretrain.timesteps
+        buffer = LatentReplayBuffer.generate(
+            ci_pretrained.network, replay, insertion_layer=0,
+            timesteps=t, compression_factor=1,
+        )
+        np.testing.assert_array_equal(
+            buffer.compressed, replay.to_dense(t)
+        )
+
+    def test_empty_replay_rejected(self, ci_pretrained, ci_split):
+        empty = ci_split.pretrain_train.subset([])
+        with pytest.raises(ConfigError):
+            LatentReplayBuffer.generate(
+                ci_pretrained.network, empty, insertion_layer=1, timesteps=10
+            )
+
+    def test_deterministic(self, ci_pretrained, ci_split, ci_preset):
+        replay = ci_split.pretrain_train.subset([0, 1, 2])
+        kwargs = dict(insertion_layer=1, timesteps=20, compression_factor=2)
+        a = LatentReplayBuffer.generate(ci_pretrained.network, replay, **kwargs)
+        b = LatentReplayBuffer.generate(ci_pretrained.network, replay, **kwargs)
+        np.testing.assert_array_equal(a.compressed, b.compressed)
+
+
+class TestMaterialize:
+    def test_decompress_restores_timesteps(self, buffer_and_inputs, ci_preset):
+        buffer, _ = buffer_and_inputs
+        raster = buffer.materialize(decompress=True)
+        assert raster.shape[0] == ci_preset.experiment.pretrain.timesteps
+
+    def test_decompress_zero_stuffs(self, buffer_and_inputs):
+        buffer, _ = buffer_and_inputs
+        raster = buffer.materialize(decompress=True)
+        # Odd frames were dropped by the factor-2 codec.
+        assert raster[1::2].sum() == 0.0
+
+    def test_native_replay_needs_factor_one(self, buffer_and_inputs):
+        buffer, _ = buffer_and_inputs
+        with pytest.raises(CodecError):
+            buffer.materialize(decompress=False)
+
+    def test_native_replay_returns_copy(self, ci_pretrained, ci_split):
+        replay = ci_split.pretrain_train.subset([0])
+        buffer = LatentReplayBuffer.generate(
+            ci_pretrained.network, replay, insertion_layer=1,
+            timesteps=12, compression_factor=1,
+        )
+        raster = buffer.materialize(decompress=False)
+        raster[0, 0, 0] = 99.0
+        assert buffer.compressed[0, 0, 0] != 99.0
+
+
+class TestStorage:
+    def test_storage_bytes_formula(self, buffer_and_inputs):
+        buffer, _ = buffer_and_inputs
+        cells = buffer.stored_frames * buffer.num_samples * buffer.num_channels
+        expected = (cells + 7) // 8 + HEADER_BYTES_PER_SAMPLE * buffer.num_samples
+        assert buffer.storage_bytes() == expected
+
+    def test_reduced_timestep_saves_memory(self, ci_pretrained, ci_split):
+        replay = ci_split.pretrain_train.subset([0, 1, 2, 3])
+        sota = LatentReplayBuffer.generate(
+            ci_pretrained.network, replay, insertion_layer=1,
+            timesteps=30, compression_factor=2,  # stores 15 frames
+        )
+        ours = LatentReplayBuffer.generate(
+            ci_pretrained.network, replay, insertion_layer=1,
+            timesteps=12, compression_factor=1,  # stores 12 frames
+        )
+        assert ours.storage_bytes() < sota.storage_bytes()
+
+    def test_decompressed_cells_accounting(self, buffer_and_inputs):
+        buffer, _ = buffer_and_inputs
+        cells = buffer.decompressed_cells_per_replay(decompress=True)
+        assert cells == (
+            buffer.generated_timesteps * buffer.num_samples * buffer.num_channels
+        )
+        assert buffer.decompressed_cells_per_replay(decompress=False) == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(CodecError):
+            LatentReplayBuffer(
+                compressed=np.zeros((4, 2)), labels=np.zeros(2),
+                insertion_layer=1, generated_timesteps=4,
+                codec=TemporalSubsampleCodec(1),
+            )
+        with pytest.raises(CodecError):
+            LatentReplayBuffer(
+                compressed=np.zeros((4, 2, 3)), labels=np.zeros(5),
+                insertion_layer=1, generated_timesteps=4,
+                codec=TemporalSubsampleCodec(1),
+            )

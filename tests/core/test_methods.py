@@ -1,0 +1,151 @@
+"""Integration tests of the NCL methods at ci scale.
+
+These assert the paper's *qualitative* relationships — the quantitative
+shapes live in the benchmark harness at bench scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NaiveFinetune, Replay4NCL, SpikingLR, run_method
+from repro.core.spikinglr import SPIKINGLR_COMPRESSION_FACTOR
+
+
+@pytest.fixture(scope="module")
+def naive_result(ci_preset, ci_pretrained, ci_split):
+    return run_method(NaiveFinetune(ci_preset.experiment), ci_pretrained, ci_split)
+
+
+@pytest.fixture(scope="module")
+def sota_result(ci_preset, ci_pretrained, ci_split):
+    return run_method(SpikingLR(ci_preset.experiment), ci_pretrained, ci_split)
+
+
+@pytest.fixture(scope="module")
+def ours_result(ci_preset, ci_pretrained, ci_split):
+    return run_method(Replay4NCL(ci_preset.experiment), ci_pretrained, ci_split)
+
+
+class TestPretraining:
+    def test_pretrain_learns(self, ci_pretrained):
+        # 4-class problem: random is 0.25.
+        assert ci_pretrained.test_accuracy > 0.6
+
+    def test_history_recorded(self, ci_pretrained, ci_preset):
+        assert len(ci_pretrained.history) == ci_preset.experiment.pretrain.epochs
+
+
+class TestNaiveFinetune:
+    def test_learns_new_task(self, naive_result):
+        assert naive_result.final_new_accuracy >= 0.75
+
+    def test_catastrophic_forgetting(self, naive_result, ci_pretrained):
+        # Fig. 1a: old-task accuracy collapses without replay.
+        assert naive_result.final_old_accuracy < ci_pretrained.test_accuracy - 0.1
+
+    def test_no_latent_storage(self, naive_result):
+        assert naive_result.latent_storage_bytes == 0
+        assert naive_result.latent_stored_frames == 0
+
+    def test_runs_at_pretrain_timesteps(self, naive_result, ci_preset):
+        assert naive_result.timesteps == ci_preset.experiment.pretrain.timesteps
+
+
+class TestSpikingLR:
+    def test_preserves_old_knowledge(self, sota_result, naive_result):
+        assert sota_result.final_old_accuracy > naive_result.final_old_accuracy
+
+    def test_learns_new_task(self, sota_result):
+        assert sota_result.final_new_accuracy >= 0.75
+
+    def test_full_timesteps(self, sota_result, ci_preset):
+        assert sota_result.timesteps == ci_preset.experiment.pretrain.timesteps
+
+    def test_stores_compressed_frames(self, sota_result, ci_preset):
+        t = ci_preset.experiment.pretrain.timesteps
+        assert sota_result.latent_stored_frames == (
+            t + SPIKINGLR_COMPRESSION_FACTOR - 1
+        ) // SPIKINGLR_COMPRESSION_FACTOR
+
+    def test_charges_decompression(self, sota_result):
+        assert all(c.decompressed_cells > 0 for c in sota_result.epoch_costs)
+
+
+class TestReplay4NCL:
+    def test_preserves_old_knowledge(self, ours_result, naive_result):
+        assert ours_result.final_old_accuracy > naive_result.final_old_accuracy
+
+    def test_old_accuracy_comparable_to_sota(self, ours_result, sota_result):
+        assert ours_result.final_old_accuracy >= sota_result.final_old_accuracy - 0.15
+
+    def test_learns_new_task(self, ours_result):
+        assert ours_result.final_new_accuracy >= 0.5
+
+    def test_reduced_timesteps(self, ours_result, ci_preset):
+        assert ours_result.timesteps == ci_preset.experiment.ncl.timesteps
+        assert ours_result.timesteps < ci_preset.experiment.pretrain.timesteps
+
+    def test_saves_latent_memory(self, ours_result, sota_result):
+        # The paper's headline: fewer stored frames than the SOTA.
+        assert ours_result.latent_stored_frames < sota_result.latent_stored_frames
+        assert ours_result.latent_storage_bytes < sota_result.latent_storage_bytes
+
+    def test_no_decompression(self, ours_result):
+        assert all(c.decompressed_cells == 0 for c in ours_result.epoch_costs)
+
+    def test_lower_learning_rate_than_sota(self, ci_preset):
+        ours = Replay4NCL(ci_preset.experiment)
+        sota = SpikingLR(ci_preset.experiment)
+        assert ours.learning_rate() < sota.learning_rate()
+        assert ours.learning_rate() == pytest.approx(
+            ours.base_eta() / ci_preset.experiment.ncl.learning_rate_divisor
+        )
+
+    def test_timestep_override(self, ci_preset, ci_pretrained, ci_split):
+        method = Replay4NCL(ci_preset.experiment, timesteps=6)
+        result = run_method(method, ci_pretrained, ci_split)
+        assert result.timesteps == 6
+
+    def test_adaptive_flag_changes_training(self, ci_preset, ci_pretrained, ci_split):
+        on = Replay4NCL(ci_preset.experiment, adaptive_threshold=True)
+        off = Replay4NCL(ci_preset.experiment, adaptive_threshold=False)
+        r_on = run_method(on, ci_pretrained, ci_split)
+        r_off = run_method(off, ci_pretrained, ci_split)
+        # Latent buffers are generated under different thresholds, so the
+        # stored activations must differ in spike counts.
+        on_spikes = sum(
+            e.output_spike_count
+            for e in r_on.prepare_cost.frozen_traces[0].entries
+        )
+        off_spikes = sum(
+            e.output_spike_count
+            for e in r_off.prepare_cost.frozen_traces[0].entries
+        )
+        assert on_spikes != off_spikes
+
+
+class TestResultContracts:
+    def test_history_lengths(self, sota_result, ours_result, ci_preset):
+        assert len(sota_result.history) == ci_preset.experiment.ncl.epochs
+        assert len(ours_result.history) == ci_preset.experiment.ncl.epochs
+
+    def test_epoch_costs_per_epoch(self, sota_result, ci_preset):
+        assert len(sota_result.epoch_costs) == ci_preset.experiment.ncl.epochs
+
+    def test_pretrained_not_mutated(self, ci_pretrained, ci_split, ci_preset):
+        before = {
+            name: {k: v.copy() for k, v in params.items()}
+            for name, params in ci_pretrained.network.state_dict().items()
+        }
+        run_method(SpikingLR(ci_preset.experiment), ci_pretrained, ci_split)
+        after = ci_pretrained.network.state_dict()
+        for name in before:
+            for key in before[name]:
+                np.testing.assert_array_equal(before[name][key], after[name][key])
+
+    def test_summary_text(self, ours_result):
+        text = ours_result.summary()
+        assert "replay4ncl" in text and "old=" in text
+
+    def test_insertion_layer_recorded(self, ours_result, ci_preset):
+        assert ours_result.insertion_layer == ci_preset.experiment.ncl.insertion_layer

@@ -1,0 +1,96 @@
+"""Tests for sequential (multi-step) class-incremental learning."""
+
+import numpy as np
+import pytest
+
+from repro.core import Replay4NCL, make_sequential_splits, run_sequential
+from repro.core.pipeline import pretrain
+from repro.data.synthetic_shd import SyntheticSHD
+from repro.data.tasks import make_class_incremental
+from repro.errors import DataError
+from repro.eval.scale import get_scale
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    preset = get_scale("ci")
+    generator = SyntheticSHD(preset.shd, seed=preset.experiment.seed)
+    # ci has 5 classes: pre-train on 3, learn classes 3 and 4 in two steps.
+    exp = preset.experiment.replace(num_pretrain_classes=3)
+    base_split = make_class_incremental(
+        generator,
+        exp.samples_per_class,
+        exp.test_samples_per_class,
+        num_pretrain_classes=3,
+    )
+    pretrained = pretrain(exp, base_split)
+    splits = make_sequential_splits(
+        generator,
+        exp.samples_per_class,
+        exp.test_samples_per_class,
+        base_classes=3,
+        steps=2,
+    )
+    return preset, exp, generator, pretrained, splits
+
+
+class TestMakeSequentialSplits:
+    def test_step_class_layout(self, scenario):
+        _, _, _, _, splits = scenario
+        assert splits[0].old_classes == (0, 1, 2)
+        assert splits[0].new_classes == (3,)
+        assert splits[1].old_classes == (0, 1, 2, 3)
+        assert splits[1].new_classes == (4,)
+
+    def test_old_pool_grows(self, scenario):
+        _, _, _, _, splits = scenario
+        assert len(splits[1].pretrain_train) > len(splits[0].pretrain_train)
+
+    def test_validation(self, scenario):
+        _, _, generator, _, _ = scenario
+        with pytest.raises(DataError):
+            make_sequential_splits(generator, 4, 2, base_classes=3, steps=5)
+        with pytest.raises(DataError):
+            make_sequential_splits(generator, 4, 2, base_classes=0, steps=1)
+
+
+class TestRunSequential:
+    @pytest.fixture(scope="class")
+    def result(self, scenario):
+        _, exp, _, pretrained, splits = scenario
+        return run_sequential(
+            lambda k: Replay4NCL(exp), pretrained.network, splits
+        )
+
+    def test_two_steps(self, result):
+        assert len(result.steps) == 2
+        assert len(result.old_accuracy_trajectory) == 2
+
+    def test_each_step_learns_its_class(self, result):
+        # The ci budget is small; require progress, not perfection.
+        assert result.new_accuracy_trajectory[0] >= 0.5
+
+    def test_old_knowledge_survives_both_steps(self, result):
+        assert result.old_accuracy_trajectory[-1] >= 0.4
+
+    def test_networks_chain(self, result, scenario):
+        _, _, _, pretrained, _ = scenario
+        # Step 2's network must differ from both the pre-trained one and
+        # step 1's (training happened at each step).
+        w_pre = pretrained.network.readout.w_ff.data
+        w_one = result.steps[0].network.readout.w_ff.data
+        w_two = result.steps[1].network.readout.w_ff.data
+        assert not np.array_equal(w_pre, w_one)
+        assert not np.array_equal(w_one, w_two)
+
+    def test_final_network_exposed(self, result):
+        assert result.final_network is result.steps[-1].network
+
+    def test_describe(self, result):
+        text = result.describe()
+        assert "2 steps" in text and "step 1" in text
+
+    def test_empty_splits_rejected(self, scenario):
+        _, exp, _, pretrained, _ = scenario
+        with pytest.raises(DataError):
+            run_sequential(lambda k: Replay4NCL(exp), pretrained.network, [])

@@ -1,0 +1,78 @@
+"""Tests for dataset save/load."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SpikeDataset,
+    SyntheticSHD,
+    SyntheticSHDConfig,
+    load_dataset,
+    save_dataset,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    gen = SyntheticSHD(
+        SyntheticSHDConfig(num_channels=24, num_classes=3, grid_steps=40), seed=2
+    )
+    return gen.generate_dataset(4, split="train")
+
+
+class TestRoundtrip:
+    def test_exact_roundtrip(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "ds.npz")
+        loaded = load_dataset(path)
+        assert len(loaded) == len(dataset)
+        assert loaded.num_classes == dataset.num_classes
+        np.testing.assert_array_equal(loaded.labels, dataset.labels)
+        for a, b in zip(dataset.streams, loaded.streams):
+            np.testing.assert_allclose(a.times, b.times)
+            np.testing.assert_array_equal(a.channels, b.channels)
+            assert a.duration == b.duration
+            assert a.num_channels == b.num_channels
+
+    def test_dense_rasters_identical(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "ds")
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.to_dense(20), dataset.to_dense(20))
+
+    def test_suffix_appended(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "noext")
+        assert path.suffix == ".npz"
+
+    def test_empty_streams_sample_ok(self, tmp_path):
+        from repro.data import EventStream
+
+        empty = EventStream(np.empty(0), np.empty(0, dtype=int), 8, 1.0)
+        ds = SpikeDataset(streams=[empty], labels=np.array([0]), num_classes=2)
+        loaded = load_dataset(save_dataset(ds, tmp_path / "empty"))
+        assert loaded.streams[0].num_events == 0
+
+
+class TestValidation:
+    def test_refuses_empty_dataset(self, tmp_path):
+        ds = SpikeDataset(streams=[], labels=np.empty(0, dtype=int), num_classes=2)
+        with pytest.raises(DataError):
+            save_dataset(ds, tmp_path / "x")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_dataset(tmp_path / "nope.npz")
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(DataError):
+            load_dataset(path)
+
+    def test_version_check(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "v")
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["format_version"] = np.asarray(999)
+        np.savez(path, **payload)
+        with pytest.raises(DataError):
+            load_dataset(path)

@@ -1,0 +1,88 @@
+"""Tests for spike-train statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticSHD,
+    SyntheticSHDConfig,
+    class_confusability,
+    dataset_stats,
+    raster_stats,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    gen = SyntheticSHD(
+        SyntheticSHDConfig(num_channels=32, num_classes=3, grid_steps=50), seed=1
+    )
+    return gen.generate_dataset(6, split="train")
+
+
+class TestRasterStats:
+    def test_uniform_raster(self):
+        raster = np.ones((10, 4), dtype=np.float32)
+        stats = raster_stats(raster)
+        assert stats.density == 1.0
+        assert stats.spikes_per_sample == 40.0
+        assert stats.active_channel_fraction == 1.0
+        assert stats.temporal_centroid == pytest.approx(0.5)
+        assert stats.burstiness == pytest.approx(0.0)
+
+    def test_empty_raster(self):
+        stats = raster_stats(np.zeros((10, 4), dtype=np.float32))
+        assert stats.density == 0.0
+        assert stats.temporal_centroid == 0.5  # neutral default
+
+    def test_early_spikes_pull_centroid_down(self):
+        raster = np.zeros((10, 2), dtype=np.float32)
+        raster[0, :] = 1.0
+        assert raster_stats(raster).temporal_centroid == pytest.approx(0.0)
+
+    def test_late_spikes_push_centroid_up(self):
+        raster = np.zeros((10, 2), dtype=np.float32)
+        raster[9, :] = 1.0
+        assert raster_stats(raster).temporal_centroid == pytest.approx(1.0)
+
+    def test_bursty_train_has_higher_cv(self):
+        uniform = np.ones((10, 2), dtype=np.float32)
+        bursty = np.zeros((10, 2), dtype=np.float32)
+        bursty[3:5] = 1.0
+        assert raster_stats(bursty).burstiness > raster_stats(uniform).burstiness
+
+    def test_batched_input(self):
+        raster = np.ones((5, 3, 4), dtype=np.float32)
+        assert raster_stats(raster).spikes_per_sample == 20.0
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(DataError):
+            raster_stats(np.zeros(4))
+
+
+class TestDatasetStats:
+    def test_per_class_keys(self, dataset):
+        stats = dataset_stats(dataset, timesteps=25)
+        assert sorted(stats) == [0, 1, 2]
+
+    def test_synthetic_data_is_sparse_but_alive(self, dataset):
+        for stats in dataset_stats(dataset, timesteps=25).values():
+            assert 0.001 < stats.density < 0.5
+            assert stats.active_channel_fraction > 0.2
+
+
+class TestConfusability:
+    def test_diagonal_is_one(self, dataset):
+        matrix = class_confusability(dataset, timesteps=25)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_symmetric(self, dataset):
+        matrix = class_confusability(dataset, timesteps=25)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-9)
+
+    def test_coarser_binning_weakly_raises_confusability(self, dataset):
+        fine = class_confusability(dataset, timesteps=50)
+        coarse = class_confusability(dataset, timesteps=2)
+        off = ~np.eye(3, dtype=bool)
+        assert coarse[off].mean() >= fine[off].mean() - 0.05

@@ -1,0 +1,101 @@
+"""Integration: every figure function runs end-to-end at ci scale.
+
+These verify plumbing (series present, axes sane, scalars computed) and
+*direction* of the cheap relationships; the quantitative shapes are
+asserted at bench scale by the benchmark harness.
+"""
+
+import pytest
+
+from repro.eval import experiments
+from repro.eval.scale import get_scale
+
+
+@pytest.fixture(scope="module")
+def ci_epochs():
+    return get_scale("ci").experiment.ncl.epochs
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiments.run("fig2", scale="ci")
+
+    def test_overhead_series_cover_all_layers(self, result):
+        latency = result.get_series("spikinglr-latency-vs-baseline")
+        assert latency.x == (0, 1, 2, 3)
+
+    def test_sota_has_overhead_somewhere(self, result):
+        assert result.scalars["max_latency_overhead"] > 1.0
+        assert result.scalars["max_energy_overhead"] > 1.0
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiments.run("fig8", scale="ci")
+
+    def test_four_timestep_settings(self, result):
+        assert len(result.get_series("latency-normalized").x) == 4
+
+    def test_latency_monotone(self, result):
+        latency = result.get_series("latency-normalized").y
+        assert all(a >= b for a, b in zip(latency, latency[1:]))
+        assert latency[0] == pytest.approx(1.0)
+
+    def test_accuracy_curves_full_length(self, result, ci_epochs):
+        curve = result.get_series("old-acc-T30").y
+        assert len(curve) == ci_epochs
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiments.run("fig10", scale="ci")
+
+    def test_all_eight_series(self, result):
+        names = {s.name for s in result.series}
+        assert {"spikinglr-old", "replay4ncl-old", "spikinglr-latency",
+                "replay4ncl-latency", "spikinglr-energy",
+                "replay4ncl-energy"} <= names
+
+    def test_normalization_reference(self, result):
+        assert result.get_series("spikinglr-latency").y[0] == pytest.approx(1.0)
+        assert result.get_series("spikinglr-energy").y[0] == pytest.approx(1.0)
+
+    def test_replay4ncl_cheaper_everywhere(self, result):
+        sota = result.get_series("spikinglr-latency").y
+        ours = result.get_series("replay4ncl-latency").y
+        assert all(o < s for s, o in zip(sota, ours))
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiments.run("fig11", scale="ci")
+
+    def test_checkpoints_are_increasing(self, result):
+        checkpoints = result.get_series("spikinglr-cumulative-latency").x
+        assert list(checkpoints) == sorted(checkpoints)
+
+    def test_cumulative_latency_monotone(self, result):
+        values = result.get_series("spikinglr-cumulative-latency").y
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_scalars_present(self, result):
+        assert result.scalars["per_epoch_latency_speedup"] > 1.0
+        assert "energy_saving" in result.scalars
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiments.run("fig13", scale="ci")
+
+    def test_triple_epoch_budget(self, result, ci_epochs):
+        curve = result.get_series("replay4ncl-new-acc").y
+        assert len(curve) == 3 * ci_epochs
+
+    def test_roughness_scalars(self, result):
+        assert result.scalars["spikinglr_curve_roughness"] >= 0.0
+        assert result.scalars["replay4ncl_curve_roughness"] >= 0.0

@@ -1,0 +1,61 @@
+"""Tests for the paper-targets comparison machinery."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.paper_targets import (
+    PAPER_TARGETS,
+    PaperTarget,
+    compare_to_paper,
+    format_comparison,
+)
+
+
+class TestTargets:
+    def test_targets_cover_headline_and_figures(self):
+        experiments = {t.experiment_id for t in PAPER_TARGETS}
+        assert {"headline", "fig10", "fig12", "fig1a", "fig8"} <= experiments
+
+    def test_band_targets_have_band(self):
+        for target in PAPER_TARGETS:
+            if target.direction == "band":
+                assert target.band > 0
+
+    def test_direction_validated(self):
+        with pytest.raises(ConfigError):
+            PaperTarget("x", "d", 1.0, "s", direction="vibes")
+
+
+class TestCompare:
+    def test_missing_results_dir(self, tmp_path):
+        rows = compare_to_paper(tmp_path)
+        assert all(row["measured"] is None for row in rows)
+
+    def test_reads_saved_scalars(self, tmp_path):
+        (tmp_path / "headline.json").write_text(json.dumps({
+            "scalars": {
+                "replay4ncl_old_acc": 0.91,
+                "spikinglr_old_acc": 0.87,
+                "memory_saving": 0.195,
+                "energy_saving": 0.40,
+                "latency_speedup": 2.3,
+            }
+        }))
+        rows = compare_to_paper(tmp_path)
+        memory_row = next(r for r in rows if "latent memory saving" in r["description"])
+        assert memory_row["measured"] == pytest.approx(0.195)
+        assert memory_row["in_band"] is True
+
+    def test_off_band_detection(self, tmp_path):
+        (tmp_path / "headline.json").write_text(json.dumps({
+            "scalars": {"memory_saving": 0.5}
+        }))
+        rows = compare_to_paper(tmp_path)
+        memory_row = next(r for r in rows if "latent memory saving" in r["description"])
+        assert memory_row["in_band"] is False
+
+    def test_format(self, tmp_path):
+        text = format_comparison(compare_to_paper(tmp_path))
+        assert "paper" in text and "missing" in text

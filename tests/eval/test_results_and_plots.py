@@ -1,0 +1,113 @@
+"""Tests for result containers and ASCII plotting."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval import ExperimentResult, Series, ascii_bars, ascii_curve
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult(experiment_id="figx", title="Test figure", scale="ci")
+    r.add_series(Series(
+        name="curve-a", x=(0, 1, 2), y=(0.1, 0.5, 0.9),
+        x_label="epoch", y_label="top1",
+    ))
+    r.add_series(Series(
+        name="curve-b", x=(0, 1, 2), y=(0.2, 0.3, 0.4),
+        x_label="epoch", y_label="top1",
+    ))
+    r.scalars["speedup"] = 2.5
+    r.add_note("a note")
+    return r
+
+
+class TestSeries:
+    def test_length_validation(self):
+        with pytest.raises(ConfigError):
+            Series(name="bad", x=(1, 2), y=(1.0,))
+
+    def test_as_dict(self):
+        s = Series(name="s", x=(1,), y=(2.0,), x_label="a", y_label="b")
+        d = s.as_dict()
+        assert d == {"name": "s", "x_label": "a", "y_label": "b", "x": [1], "y": [2.0]}
+
+
+class TestExperimentResult:
+    def test_get_series(self, result):
+        assert result.get_series("curve-a").y == (0.1, 0.5, 0.9)
+        with pytest.raises(KeyError):
+            result.get_series("missing")
+
+    def test_format_text_contains_everything(self, result):
+        text = result.format_text()
+        assert "figx" in text and "speedup" in text and "curve-a" in text
+        assert "a note" in text
+
+    def test_to_csv(self, result):
+        csv = result.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "series,x,y"
+        assert "curve-a,0,0.1" in lines
+
+    def test_to_json_roundtrip(self, result):
+        payload = json.loads(result.to_json())
+        assert payload["experiment_id"] == "figx"
+        assert payload["scalars"]["speedup"] == 2.5
+        assert len(payload["series"]) == 2
+
+    def test_save(self, result, tmp_path):
+        json_path, csv_path = result.save(tmp_path)
+        assert json_path.exists() and csv_path.exists()
+        assert json.loads(json_path.read_text())["title"] == "Test figure"
+
+    def test_categorical_series_render_as_bars(self):
+        r = ExperimentResult(experiment_id="t", title="t", scale="ci")
+        r.add_series(Series(name="bars", x=("a", "b"), y=(1.0, 2.0)))
+        text = r.format_text()
+        assert "#" in text  # bar characters
+
+
+class TestAsciiCurve:
+    def test_contains_marks_and_legend(self):
+        text = ascii_curve({"acc": ((0, 1, 2, 3), (0.0, 0.3, 0.6, 1.0))})
+        assert "*" in text and "*=acc" in text
+
+    def test_two_series_different_marks(self):
+        text = ascii_curve({
+            "a": ((0, 1), (0.0, 1.0)),
+            "b": ((0, 1), (1.0, 0.0)),
+        })
+        assert "*=a" in text and "o=b" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ascii_curve({})
+        with pytest.raises(ConfigError):
+            ascii_curve({"a": ((), ())})
+        with pytest.raises(ConfigError):
+            ascii_curve({"a": ((0,), (1.0,))}, width=4)
+
+    def test_constant_series_no_crash(self):
+        text = ascii_curve({"flat": ((0, 1, 2), (0.5, 0.5, 0.5))})
+        assert "*" in text
+
+
+class TestAsciiBars:
+    def test_bar_lengths_scale(self):
+        text = ascii_bars({"m": {"a": 1.0, "b": 2.0}}, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ascii_bars({})
+        with pytest.raises(ConfigError):
+            ascii_bars({"a": {}})
+
+    def test_zero_values(self):
+        text = ascii_bars({"m": {"a": 0.0}})
+        assert "a" in text

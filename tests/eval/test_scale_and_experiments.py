@@ -1,0 +1,88 @@
+"""Tests for scale presets and the experiment registry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval import experiments, get_scale
+from repro.eval.scale import SCALES
+
+
+class TestScalePresets:
+    @pytest.mark.parametrize("name", sorted(SCALES))
+    def test_presets_construct(self, name):
+        preset = get_scale(name)
+        assert preset.name == name
+        assert preset.shd.num_classes == preset.experiment.network.num_classes
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigError):
+            get_scale("galactic")
+
+    def test_timestep_ratio_invariant(self):
+        # DESIGN.md: ncl/pretrain timesteps = 0.4 at every scale, so the
+        # 20% latent-memory relationship is scale-invariant.
+        for name in SCALES:
+            preset = get_scale(name)
+            ratio = preset.experiment.ncl.timesteps / preset.experiment.pretrain.timesteps
+            assert ratio == pytest.approx(0.4)
+
+    def test_paper_scale_matches_paper(self):
+        preset = get_scale("paper")
+        assert preset.experiment.network.layer_sizes == (700, 200, 100, 50, 20)
+        assert preset.experiment.pretrain.timesteps == 100
+        assert preset.experiment.ncl.timesteps == 40
+        assert preset.experiment.num_pretrain_classes == 19
+        assert preset.experiment.pretrain.learning_rate == pytest.approx(1e-3)
+
+    def test_description(self):
+        assert "net=" in get_scale("ci").description
+
+
+class TestExperimentRegistry:
+    def test_registry_covers_every_figure(self):
+        expected = {"fig1a", "fig2", "fig8", "fig10", "fig11", "fig12",
+                    "fig13", "headline"}
+        assert set(experiments.available_experiments()) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigError):
+            experiments.run("fig99", scale="ci")
+
+    def test_context_cached(self):
+        a = experiments.context("ci")
+        b = experiments.context("ci")
+        assert a is b
+
+    def test_pretrain_disk_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        experiments._CONTEXTS.clear()
+        ctx1 = experiments.context("ci")
+        acc1 = ctx1.pretrained.test_accuracy
+        # Second context build must load from disk (empty history marks
+        # a cache hit) and agree on the accuracy.
+        experiments._CONTEXTS.clear()
+        ctx2 = experiments.context("ci")
+        assert ctx2.pretrained.test_accuracy == pytest.approx(acc1)
+        assert len(ctx2.pretrained.history) == 0
+        experiments._CONTEXTS.clear()
+
+
+class TestFigureRuns:
+    """End-to-end runs at ci scale for the cheap figures."""
+
+    def test_fig12_runs(self):
+        result = experiments.run("fig12", scale="ci")
+        savings = result.get_series("memory-saving").y
+        assert all(0.0 < s < 0.5 for s in savings)
+
+    def test_fig1a_runs(self):
+        result = experiments.run("fig1a", scale="ci")
+        assert result.scalars["accuracy_drop"] > 0.0
+        assert len(result.get_series("old-tasks").y) == \
+            get_scale("ci").experiment.ncl.epochs
+
+    def test_headline_runs(self):
+        result = experiments.run("headline", scale="ci")
+        for key in ("latency_speedup", "memory_saving", "energy_saving"):
+            assert key in result.scalars
+        assert result.scalars["latency_speedup"] > 1.0

@@ -1,0 +1,186 @@
+"""Tests for SpikingNetwork: forward, split semantics, tracing, cloning."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import cross_entropy
+from repro.config import NetworkConfig
+from repro.errors import ShapeError, SplitError
+from repro.snn import AdaptiveSpikeTimingThreshold, SpikingNetwork
+
+
+@pytest.fixture
+def config():
+    return NetworkConfig(layer_sizes=(20, 16, 12, 8, 5), beta=0.9)
+
+
+@pytest.fixture
+def net(config):
+    return SpikingNetwork(config, seed=0)
+
+
+@pytest.fixture
+def x():
+    rng = np.random.default_rng(0)
+    return (rng.random((12, 4, 20)) < 0.25).astype(np.float32)
+
+
+class TestStructure:
+    def test_num_weight_layers(self, net):
+        assert net.num_weight_layers == 4  # L=4 as in the paper
+
+    def test_layer_input_sizes(self, net):
+        assert [net.layer_input_size(i) for i in range(4)] == [20, 16, 12, 8]
+
+    def test_layer_index_validation(self, net):
+        with pytest.raises(SplitError):
+            net.layer_input_size(4)
+        with pytest.raises(SplitError):
+            net.layer_input_size(-1)
+
+    def test_parameter_count(self, net):
+        # 3 hidden layers x (w_ff + w_rec) + readout w_ff
+        assert len(net.parameters()) == 7
+
+    def test_seeded_determinism(self, config):
+        a = SpikingNetwork(config, seed=5)
+        b = SpikingNetwork(config, seed=5)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_different_seeds_differ(self, config):
+        a = SpikingNetwork(config, seed=5)
+        b = SpikingNetwork(config, seed=6)
+        assert not np.array_equal(a.parameters()[0].data, b.parameters()[0].data)
+
+
+class TestForward:
+    def test_logits_shape(self, net, x):
+        result = net.forward(x)
+        assert result.logits.shape == (4, 5)
+
+    def test_trace_covers_all_layers(self, net, x):
+        result = net.forward(x)
+        assert [e.name for e in result.trace.entries] == [
+            "hidden0",
+            "hidden1",
+            "hidden2",
+            "readout",
+        ]
+
+    def test_trace_records_dims(self, net, x):
+        entries = net.forward(x).trace.entries
+        assert (entries[0].n_in, entries[0].n_out) == (20, 16)
+        assert entries[0].timesteps == 12 and entries[0].batch == 4
+        assert entries[-1].output_spike_count == 0.0  # readout never spikes
+
+    def test_record_spikes(self, net, x):
+        result = net.forward(x, record_spikes=True)
+        assert len(result.hidden_spikes) == 3
+        assert result.hidden_spikes[0].shape == (12, 4, 16)
+
+    def test_shape_validation(self, net):
+        with pytest.raises(ShapeError):
+            net.forward(np.zeros((12, 4, 21), dtype=np.float32))
+
+    def test_start_layer_shape_validation(self, net):
+        with pytest.raises(ShapeError):
+            net.forward(np.zeros((12, 4, 20), dtype=np.float32), start_layer=1)
+
+    def test_backward_reaches_all_parameters(self, net, x):
+        result = net.forward(x)
+        cross_entropy(result.logits, np.array([0, 1, 2, 3])).backward()
+        for p in net.parameters():
+            assert p.grad is not None
+
+    def test_deterministic_forward(self, net, x):
+        a = net.forward(x).logits.data
+        b = net.forward(x).logits.data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSplit:
+    def test_freeze_below_marks_layers(self, net):
+        net.freeze_below(2)
+        assert not net.hidden_layers[0].trainable
+        assert not net.hidden_layers[1].trainable
+        assert net.hidden_layers[2].trainable
+        assert net.readout.trainable
+
+    def test_freeze_below_zero_trains_everything(self, net):
+        net.freeze_below(0)
+        assert all(layer.trainable for layer in net.hidden_layers)
+
+    def test_trainable_parameters_subset(self, net):
+        net.freeze_below(2)
+        # hidden2 (w_ff + w_rec) + readout
+        assert len(net.trainable_parameters()) == 3
+
+    def test_activations_at_layer0_is_input(self, net, x):
+        acts = net.activations_at(0, x)
+        np.testing.assert_array_equal(acts, x)
+
+    def test_activations_at_shape(self, net, x):
+        acts = net.activations_at(2, x)
+        assert acts.shape == (12, 4, 12)
+        assert set(np.unique(acts)).issubset({0.0, 1.0})
+
+    def test_partial_forward_consistent_with_full(self, net, x):
+        # Running frozen part then learning part must equal the full pass.
+        full = net.forward(x).logits.data
+        acts = net.activations_at(2, x)
+        partial = net.forward(acts, start_layer=2).logits.data
+        np.testing.assert_allclose(full, partial, rtol=1e-5)
+
+    def test_activations_do_not_flip_trainability(self, net, x):
+        net.freeze_below(2)
+        before = [l.trainable for l in net.hidden_layers]
+        net.activations_at(2, x)
+        after = [l.trainable for l in net.hidden_layers]
+        assert before == after
+
+
+class TestCloneAndState:
+    def test_clone_matches(self, net, x):
+        twin = net.clone()
+        np.testing.assert_allclose(
+            net.forward(x).logits.data, twin.forward(x).logits.data
+        )
+
+    def test_clone_is_independent(self, net):
+        twin = net.clone()
+        twin.hidden_layers[0].w_ff.data[0, 0] += 1.0
+        assert net.hidden_layers[0].w_ff.data[0, 0] != twin.hidden_layers[0].w_ff.data[0, 0]
+
+    def test_state_roundtrip(self, net, config, x):
+        other = SpikingNetwork(config, seed=99)
+        other.load_state_dict(net.state_dict())
+        np.testing.assert_allclose(
+            net.forward(x).logits.data, other.forward(x).logits.data
+        )
+
+
+class TestPredictAndController:
+    def test_predict_shape_and_range(self, net, x):
+        preds = net.predict(x, batch_size=3)
+        assert preds.shape == (4,)
+        assert set(preds).issubset(set(range(5)))
+
+    def test_predict_restores_trainability(self, net, x):
+        net.freeze_below(2)
+        before = [l.trainable for l in net.hidden_layers] + [net.readout.trainable]
+        net.predict(x)
+        after = [l.trainable for l in net.hidden_layers] + [net.readout.trainable]
+        assert before == after
+
+    def test_predict_empty_batch(self, net):
+        preds = net.predict(np.zeros((5, 0, 20), dtype=np.float32))
+        assert preds.shape == (0,)
+
+    def test_adaptive_controller_changes_output(self, net, x):
+        static = net.forward(x).logits.data
+        ctrl = AdaptiveSpikeTimingThreshold(timesteps=12, adjust_interval=1)
+        adaptive = net.forward(x, controller=ctrl).logits.data
+        # The controller halves thresholds on silent steps, so spiking
+        # activity — and thus logits — must differ.
+        assert not np.allclose(static, adaptive)

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig12"])
+        assert args.experiment == "fig12"
+        assert args.scale == "bench"
+        assert args.save_dir is None
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "headline" in out
+        assert "ci" in out and "paper" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Replay4NCL" in out
+
+    def test_run_fig12_ci(self, capsys, tmp_path):
+        code = main(["run", "fig12", "--scale", "ci", "--save-dir", str(tmp_path),
+                     "--no-plot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+        assert (tmp_path / "fig12.json").exists()
+        assert (tmp_path / "fig12.csv").exists()
+
+    def test_unknown_experiment_is_clean_error(self, capsys):
+        assert main(["run", "fig99", "--scale", "ci"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_scale_is_clean_error(self, capsys):
+        assert main(["run", "fig12", "--scale", "galactic"]) == 2
+        assert "error:" in capsys.readouterr().err

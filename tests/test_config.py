@@ -1,0 +1,118 @@
+"""Validation tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.config import (
+    PAPER_LAYER_SIZES,
+    ExperimentConfig,
+    NCLConfig,
+    NetworkConfig,
+    PretrainConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestNetworkConfig:
+    def test_paper_defaults(self):
+        cfg = NetworkConfig()
+        assert cfg.layer_sizes == PAPER_LAYER_SIZES == (700, 200, 100, 50, 20)
+        assert cfg.num_weight_layers == 4  # L=4 as in the paper
+        assert cfg.num_hidden_layers == 3
+        assert cfg.num_classes == 20
+        assert cfg.num_inputs == 700
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"layer_sizes": (10, 5)},
+            {"layer_sizes": (10, 0, 5)},
+            {"beta": 0.0},
+            {"beta": 1.0},
+            {"threshold": 0.0},
+            {"reset_mode": "bogus"},
+            {"readout_mode": "median"},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            NetworkConfig(**kwargs)
+
+    def test_replace(self):
+        cfg = NetworkConfig().replace(beta=0.9)
+        assert cfg.beta == 0.9
+        assert NetworkConfig().beta == 0.95  # original untouched
+
+
+class TestPretrainConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs": 0},
+            {"learning_rate": 0.0},
+            {"timesteps": 0},
+            {"batch_size": 0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            PretrainConfig(**kwargs)
+
+    def test_paper_defaults(self):
+        cfg = PretrainConfig()
+        assert cfg.learning_rate == pytest.approx(1e-3)  # Alg. 1 line 2
+        assert cfg.timesteps == 100
+
+
+class TestNCLConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timesteps": 0},
+            {"learning_rate_divisor": 0.0},
+            {"base_learning_rate": 0.0},
+            {"insertion_layer": -1},
+            {"replay_fraction": 0.0},
+            {"replay_fraction": 1.5},
+            {"adjust_interval": 0},
+            {"compression_factor": 0},
+            {"epochs": 0},
+            {"batch_size": 0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            NCLConfig(**kwargs)
+
+    def test_paper_defaults(self):
+        cfg = NCLConfig()
+        assert cfg.timesteps == 40  # Fig. 8 Observation B
+        assert cfg.learning_rate_divisor == 100.0  # Alg. 1 line 6
+        assert cfg.adjust_interval == 5  # Alg. 1 inputs
+        assert cfg.insertion_layer == 3  # the headline layer
+
+
+class TestExperimentConfig:
+    def test_defaults_are_paper(self):
+        cfg = ExperimentConfig()
+        assert cfg.num_pretrain_classes == 19  # 19+1 class-incremental
+
+    def test_rejects_bad_class_count(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(num_pretrain_classes=0)
+        with pytest.raises(ConfigError):
+            ExperimentConfig(num_pretrain_classes=20)
+
+    def test_rejects_insertion_beyond_network(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(ncl=NCLConfig(insertion_layer=4))
+
+    def test_rejects_bad_sample_counts(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(samples_per_class=0)
+        with pytest.raises(ConfigError):
+            ExperimentConfig(test_samples_per_class=0)
+
+    def test_replace_revalidates(self):
+        cfg = ExperimentConfig()
+        with pytest.raises(ConfigError):
+            cfg.replace(num_pretrain_classes=25)

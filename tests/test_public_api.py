@@ -1,0 +1,83 @@
+"""Public-API surface checks: __all__ consistency and doc coverage.
+
+These keep the library honest as it grows: everything exported must
+exist, and every public item must carry a docstring (deliverable (e) of
+the reproduction: doc comments on every public item).
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.autograd",
+    "repro.snn",
+    "repro.data",
+    "repro.compression",
+    "repro.training",
+    "repro.core",
+    "repro.hw",
+    "repro.eval",
+]
+
+
+def iter_modules():
+    seen = set(PACKAGES)
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                seen.add(f"{package_name}.{info.name}")
+    return sorted(seen)
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", [])
+    assert exported, f"{package_name} must declare __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("module_name", iter_modules())
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), f"{module_name} lacks a docstring"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_items_documented(package_name):
+    package = importlib.import_module(package_name)
+    undocumented = []
+    for name in getattr(package, "__all__", []):
+        item = getattr(package, name)
+        if inspect.isclass(item) or inspect.isfunction(item):
+            if not (item.__doc__ and item.__doc__.strip()):
+                undocumented.append(f"{package_name}.{name}")
+    assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+def test_version_matches_pyproject():
+    from pathlib import Path
+
+    pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+    if not pyproject.exists():
+        pytest.skip("source tree layout not available")
+    text = pyproject.read_text()
+    assert f'version = "{repro.__version__}"' in text
+
+
+def test_error_hierarchy_rooted():
+    from repro import errors
+
+    for name in dir(errors):
+        item = getattr(errors, name)
+        if inspect.isclass(item) and issubclass(item, Exception):
+            if item is not errors.ReproError:
+                assert issubclass(item, errors.ReproError), name

@@ -1,0 +1,100 @@
+"""Tests for training callbacks."""
+
+import numpy as np
+import pytest
+
+from repro.config import NetworkConfig
+from repro.errors import ConfigError
+from repro.snn import SpikingNetwork
+from repro.training.callbacks import BestCheckpoint, CallbackList, EarlyStopping
+from repro.training.metrics import EpochRecord
+
+
+def record(epoch, loss=1.0, old=None):
+    return EpochRecord(epoch=epoch, loss=loss, old_task_accuracy=old)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(metric="loss", patience=2)
+        stopper(record(0, loss=1.0))
+        stopper(record(1, loss=1.0))
+        assert not stopper.should_stop
+        stopper(record(2, loss=1.0))
+        assert stopper.should_stop
+
+    def test_improvement_resets_patience(self):
+        stopper = EarlyStopping(metric="loss", patience=2)
+        stopper(record(0, loss=1.0))
+        stopper(record(1, loss=1.0))
+        stopper(record(2, loss=0.5))  # improvement
+        stopper(record(3, loss=0.5))
+        assert not stopper.should_stop
+
+    def test_max_mode(self):
+        stopper = EarlyStopping(metric="old_task_accuracy", patience=1, mode="max")
+        stopper(record(0, old=0.5))
+        stopper(record(1, old=0.4))
+        assert stopper.should_stop
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(metric="loss", patience=1, min_delta=0.1)
+        stopper(record(0, loss=1.0))
+        stopper(record(1, loss=0.95))  # improvement below min_delta
+        assert stopper.should_stop
+
+    def test_missing_metric_ignored(self):
+        stopper = EarlyStopping(metric="old_task_accuracy", patience=1)
+        stopper(record(0, old=None))
+        assert not stopper.should_stop
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ConfigError):
+            EarlyStopping(mode="sideways")
+        with pytest.raises(ConfigError):
+            EarlyStopping(min_delta=-1.0)
+
+
+class TestBestCheckpoint:
+    @pytest.fixture
+    def network(self):
+        return SpikingNetwork(NetworkConfig(layer_sizes=(8, 6, 4, 3), beta=0.9), seed=0)
+
+    def test_captures_best_and_restores(self, network):
+        checkpoint = BestCheckpoint(network, metric="loss", mode="min")
+        checkpoint(record(0, loss=1.0))
+        best_weights = network.hidden_layers[0].w_ff.data.copy()
+        # Worsen: mutate weights, report a worse loss -> not captured.
+        network.hidden_layers[0].w_ff.data += 1.0
+        checkpoint(record(1, loss=2.0))
+        checkpoint.restore()
+        np.testing.assert_array_equal(
+            network.hidden_layers[0].w_ff.data, best_weights
+        )
+        assert checkpoint.best_epoch == 0
+
+    def test_max_mode_tracks_accuracy(self, network):
+        checkpoint = BestCheckpoint(network, metric="old_task_accuracy", mode="max")
+        checkpoint(record(0, old=0.5))
+        checkpoint(record(1, old=0.9))
+        assert checkpoint.best == 0.9
+        assert checkpoint.best_epoch == 1
+
+    def test_restore_without_snapshot_raises(self, network):
+        with pytest.raises(ConfigError):
+            BestCheckpoint(network).restore()
+
+    def test_validation(self, network):
+        with pytest.raises(ConfigError):
+            BestCheckpoint(network, mode="sideways")
+
+
+class TestCallbackList:
+    def test_fans_out(self):
+        seen = []
+        calls = CallbackList([lambda r: seen.append(("a", r.epoch)),
+                              lambda r: seen.append(("b", r.epoch))])
+        calls(record(3))
+        assert seen == [("a", 3), ("b", 3)]

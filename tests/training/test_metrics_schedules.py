@@ -1,0 +1,111 @@
+"""Tests for metrics, history, and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.training import (
+    ConstantSchedule,
+    EpochRecord,
+    ExponentialDecaySchedule,
+    StepSchedule,
+    TrainingHistory,
+    forgetting,
+    per_class_accuracy,
+    top1_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_top1(self):
+        assert top1_accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
+
+    def test_top1_empty(self):
+        assert top1_accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_top1_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            top1_accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_per_class(self):
+        preds = np.array([0, 0, 1, 1])
+        labels = np.array([0, 1, 1, 1])
+        result = per_class_accuracy(preds, labels)
+        assert result == {0: 1.0, 1: pytest.approx(2 / 3)}
+
+    def test_per_class_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            per_class_accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_forgetting(self):
+        assert forgetting(0.9, 0.6) == pytest.approx(0.3)
+        assert forgetting(0.5, 0.7) == pytest.approx(-0.2)  # backward transfer
+
+
+class TestHistory:
+    def make_history(self):
+        h = TrainingHistory()
+        for i, (old, new) in enumerate([(0.2, 0.1), (0.5, 0.6), (0.8, 0.9)]):
+            h.append(EpochRecord(epoch=i, loss=1.0 - 0.2 * i,
+                                 old_task_accuracy=old, new_task_accuracy=new))
+        return h
+
+    def test_curves(self):
+        h = self.make_history()
+        assert h.old_task_curve == [0.2, 0.5, 0.8]
+        assert h.new_task_curve == [0.1, 0.6, 0.9]
+        assert h.losses == pytest.approx([1.0, 0.8, 0.6])
+
+    def test_final_and_len(self):
+        h = self.make_history()
+        assert len(h) == 3
+        assert h.final().epoch == 2
+
+    def test_final_empty_raises(self):
+        with pytest.raises(IndexError):
+            TrainingHistory().final()
+
+    def test_best_old_task(self):
+        assert self.make_history().best_old_task_accuracy() == 0.8
+        assert TrainingHistory().best_old_task_accuracy() == 0.0
+
+    def test_epochs_to_reach(self):
+        h = self.make_history()
+        assert h.epochs_to_reach(0.5, task="old") == 1
+        assert h.epochs_to_reach(0.9, task="new") == 2
+        assert h.epochs_to_reach(0.99, task="old") is None
+
+    def test_iteration(self):
+        assert [r.epoch for r in self.make_history()] == [0, 1, 2]
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantSchedule(1e-3)
+        assert s(0) == s(100) == 1e-3
+
+    def test_exponential(self):
+        s = ExponentialDecaySchedule(1.0, 0.5)
+        assert s(0) == 1.0
+        assert s(2) == 0.25
+
+    def test_step(self):
+        s = StepSchedule(1.0, step_every=10, factor=10.0)
+        assert s(0) == 1.0
+        assert s(9) == 1.0
+        assert s(10) == pytest.approx(0.1)
+        assert s(25) == pytest.approx(0.01)
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: ConstantSchedule(0.0),
+            lambda: ExponentialDecaySchedule(1.0, 0.0),
+            lambda: ExponentialDecaySchedule(0.0, 0.5),
+            lambda: StepSchedule(1.0, 0),
+            lambda: StepSchedule(1.0, 5, factor=1.0),
+        ],
+    )
+    def test_validation(self, make):
+        with pytest.raises(ConfigError):
+            make()

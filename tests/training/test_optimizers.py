@@ -1,0 +1,113 @@
+"""Tests for SGD and Adam."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import tensor
+from repro.errors import ConfigError, TrainingError
+from repro.training import SGD, Adam
+
+
+def quadratic_param(value=5.0):
+    return tensor(np.array([value], dtype=np.float32), requires_grad=True)
+
+
+def quadratic_step(p, optimizer):
+    optimizer.zero_grad()
+    loss = (p * p).sum()
+    loss.backward()
+    optimizer.step()
+    return float(loss.data)
+
+
+class TestSGD:
+    def test_descends_quadratic(self):
+        p = quadratic_param()
+        opt = SGD([p], learning_rate=0.1)
+        losses = [quadratic_step(p, opt) for _ in range(20)]
+        assert losses[-1] < losses[0] * 0.05
+
+    def test_manual_update_rule(self):
+        p = quadratic_param(2.0)
+        opt = SGD([p], learning_rate=0.5)
+        quadratic_step(p, opt)  # grad = 2*2 = 4; p <- 2 - 0.5*4 = 0
+        assert p.data[0] == pytest.approx(0.0)
+
+    def test_momentum_accelerates(self):
+        p_plain, p_momentum = quadratic_param(), quadratic_param()
+        plain = SGD([p_plain], learning_rate=0.01)
+        momentum = SGD([p_momentum], learning_rate=0.01, momentum=0.9)
+        for _ in range(30):
+            quadratic_step(p_plain, plain)
+            quadratic_step(p_momentum, momentum)
+        assert abs(p_momentum.data[0]) < abs(p_plain.data[0])
+
+    def test_skips_gradless_parameters(self):
+        p, q = quadratic_param(), quadratic_param(3.0)
+        opt = SGD([p, q], learning_rate=0.1)
+        quadratic_step(p, opt)  # q never touched by the loss
+        assert q.data[0] == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SGD([], learning_rate=0.1)
+        with pytest.raises(ConfigError):
+            SGD([quadratic_param()], learning_rate=0.0)
+        with pytest.raises(ConfigError):
+            SGD([quadratic_param()], learning_rate=0.1, momentum=1.0)
+
+    def test_set_learning_rate(self):
+        opt = SGD([quadratic_param()], learning_rate=0.1)
+        opt.set_learning_rate(0.01)
+        assert opt.learning_rate == 0.01
+        with pytest.raises(ConfigError):
+            opt.set_learning_rate(-1.0)
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        p = quadratic_param()
+        opt = Adam([p], learning_rate=0.3)
+        losses = [quadratic_step(p, opt) for _ in range(50)]
+        assert losses[-1] < losses[0] * 0.01
+
+    def test_first_step_magnitude_is_lr(self):
+        # Adam's bias correction makes the first update ~= lr * sign(grad).
+        p = quadratic_param(2.0)
+        opt = Adam([p], learning_rate=0.1)
+        quadratic_step(p, opt)
+        assert p.data[0] == pytest.approx(2.0 - 0.1, abs=1e-3)
+
+    def test_state_keyed_by_parameter(self):
+        p, q = quadratic_param(1.0), quadratic_param(2.0)
+        opt = Adam([p, q], learning_rate=0.1)
+        quadratic_step(p, opt)
+        # Only p has state; stepping q later must not reuse p's moments.
+        opt.zero_grad()
+        (q * q).sum().backward()
+        opt.step()
+        assert opt._t[id(p)] == 1
+        assert opt._t[id(q)] == 1
+
+    def test_nonfinite_gradient_raises(self):
+        p = quadratic_param()
+        opt = Adam([p], learning_rate=0.1)
+        p.grad = np.array([np.nan], dtype=np.float32)
+        with pytest.raises(TrainingError):
+            opt.step()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Adam([quadratic_param()], learning_rate=0.1, beta1=1.0)
+        with pytest.raises(ConfigError):
+            Adam([quadratic_param()], learning_rate=0.1, beta2=-0.1)
+        with pytest.raises(ConfigError):
+            Adam([quadratic_param()], learning_rate=0.1, eps=0.0)
+
+    def test_zero_grad(self):
+        p = quadratic_param()
+        opt = Adam([p], learning_rate=0.1)
+        (p * p).sum().backward()
+        assert p.grad is not None
+        opt.zero_grad()
+        assert p.grad is None
