@@ -2,10 +2,19 @@
 
 These are conventional pytest-benchmark timings (many rounds) of the
 kernels the figure experiments are built from: the SNN forward pass at
-the paper's two timestep settings, the BPTT training step, and the
-Fig. 7 codec.  They exist so regressions in the substrate show up
+the paper's two timestep settings, the BPTT training step, the fused
+sequence kernels against their per-step reference, and the Fig. 7
+codec.  They exist so regressions in the substrate show up
 independently of the (analytically-modelled) paper metrics.
+
+Sizes honour ``REPRO_BENCH_SCALE`` (``ci`` shrinks timesteps/batch for
+a smoke pass; ``bench`` is the default; ``paper`` matches the paper's
+SHD setting).  ``benchmarks/check_regression.py`` runs this file at the
+``ci`` scale and gates CI on the fused-vs-per-step speedup plus the
+committed timing baseline.
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -13,8 +22,28 @@ import pytest
 from repro.autograd import cross_entropy
 from repro.compression import BitpackCodec, TemporalSubsampleCodec
 from repro.config import NetworkConfig
-from repro.snn import SpikingNetwork
+from repro.snn import LIFParameters, RecurrentLIFLayer, SpikingNetwork
 from repro.training import Adam
+
+#: (T_pretrain, T_ncl, batch) per scale; mirrors Fig. 8's 100-vs-40
+#: timestep comparison at bench scale.
+_SCALE_SIZES = {
+    "ci": (40, 16, 4),
+    "bench": (100, 40, 8),
+    "paper": (100, 40, 32),
+}
+
+
+def _sizes():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    if scale not in _SCALE_SIZES:
+        # Fail fast: a typo'd scale would silently benchmark the wrong
+        # workload and poison baseline comparisons.
+        raise ValueError(
+            f"unknown REPRO_BENCH_SCALE {scale!r}; expected one of "
+            f"{sorted(_SCALE_SIZES)}"
+        )
+    return _SCALE_SIZES[scale]
 
 
 @pytest.fixture(scope="module")
@@ -34,22 +63,25 @@ def _raster(rng, timesteps, batch=8, channels=140):
 
 
 def test_forward_t100(benchmark, network, rng):
-    x = _raster(rng, 100)
+    t_long, _, batch = _sizes()
+    x = _raster(rng, t_long, batch)
     network.set_trainable(False)
     benchmark(lambda: network.forward(x))
     network.set_trainable(True)
 
 
 def test_forward_t40(benchmark, network, rng):
-    x = _raster(rng, 40)
+    _, t_short, batch = _sizes()
+    x = _raster(rng, t_short, batch)
     network.set_trainable(False)
     benchmark(lambda: network.forward(x))
     network.set_trainable(True)
 
 
 def test_bptt_training_step_t40(benchmark, network, rng):
-    x = _raster(rng, 40)
-    labels = rng.integers(0, 10, 8)
+    _, t_short, batch = _sizes()
+    x = _raster(rng, t_short, batch)
+    labels = rng.integers(0, 10, batch)
     optimizer = Adam(network.trainable_parameters(), learning_rate=1e-4)
 
     def step():
@@ -60,6 +92,50 @@ def test_bptt_training_step_t40(benchmark, network, rng):
         optimizer.step()
 
     benchmark(step)
+
+
+# ----------------------------------------------------------------------
+# Fused sequence kernel vs. the per-step reference (single LIF layer,
+# forward + backward).  check_regression.py asserts the speedup ratio of
+# this pair, so the two benches must stay workload-identical.
+# ----------------------------------------------------------------------
+
+def _lif_layer():
+    return RecurrentLIFLayer(
+        140, 64, LIFParameters(beta=0.95), recurrent=True,
+        rng=np.random.default_rng(0),
+    )
+
+
+def _lif_forward_backward(layer, x, g_up):
+    out = layer.forward(x)
+    out.backward(g_up)
+    for p in layer.parameters():
+        p.zero_grad()
+
+
+@pytest.fixture(scope="module")
+def lif_workload(rng):
+    t_long, _, batch = _sizes()
+    x = _raster(rng, t_long, batch)
+    g_up = rng.standard_normal((t_long, batch, 64)).astype(np.float32)
+    return x, g_up
+
+
+def test_fused_lif_forward_backward(benchmark, lif_workload):
+    layer = _lif_layer()
+    layer.use_fused = True
+    x, g_up = lif_workload
+    benchmark(_lif_forward_backward, layer, x, g_up)
+    assert layer.last_forward_path == "fused"
+
+
+def test_per_step_lif_forward_backward(benchmark, lif_workload):
+    layer = _lif_layer()
+    layer.use_fused = False
+    x, g_up = lif_workload
+    benchmark(_lif_forward_backward, layer, x, g_up)
+    assert layer.last_forward_path == "steps"
 
 
 def test_subsample_codec_roundtrip(benchmark, rng):

@@ -15,6 +15,8 @@ Public surface
 - :mod:`repro.autograd.functional` — softmax, cross-entropy, sigmoid, ...
 - :mod:`repro.autograd.surrogate` — the Heaviside spike op whose backward
   pass is a surrogate gradient (fast-sigmoid by default, as in the paper).
+- :class:`Function` — raw-kernel hook: run a whole numpy computation
+  (e.g. a fused SNN time loop) as a single multi-output tape node.
 - :func:`gradcheck` — numerical verification used by the test-suite.
 - :func:`no_grad` — context manager disabling tape recording.
 """
@@ -51,6 +53,7 @@ from repro.autograd.surrogate import (
     spike,
     straight_through_surrogate,
 )
+from repro.autograd.function import Function, FunctionContext
 from repro.autograd.gradcheck import gradcheck
 
 __all__ = [
@@ -81,4 +84,6 @@ __all__ = [
     "boxcar_surrogate",
     "straight_through_surrogate",
     "gradcheck",
+    "Function",
+    "FunctionContext",
 ]

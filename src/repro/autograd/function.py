@@ -1,0 +1,142 @@
+"""Raw-kernel tape nodes: the :class:`Function` hook.
+
+Every op in :mod:`repro.autograd.tensor` is a *single* primitive whose
+VJP closures capture whatever forward data they need.  That granularity
+is exactly what makes long recurrent loops slow: a ``T``-step SNN
+simulation builds thousands of tiny tape nodes, and ``backward()`` then
+walks them one Python call at a time.
+
+:class:`Function` is the escape hatch.  A subclass implements
+
+- ``forward(ctx, *args, **kwargs)`` — receives **raw numpy arrays** (any
+  positional ``Tensor`` argument is unwrapped) and returns one ndarray or
+  a tuple of ndarrays.  Anything the backward pass needs is stashed on
+  ``ctx`` (``ctx.save_for_backward(...)`` or plain attributes).
+- ``backward(ctx, *grad_outputs)`` — receives one upstream-gradient
+  array per forward output and returns one gradient (or ``None``) per
+  *positional forward argument*, in order.  Non-Tensor arguments must
+  map to ``None``.
+
+``Function.apply(*args, **kwargs)`` runs the forward immediately and
+records a *single* tape node per output, regardless of how many numpy
+operations the forward used internally.  The fused SNN sequence kernels
+(:mod:`repro.snn.kernels`) run an entire ``[T, B, N]`` time loop inside
+one such node.
+
+Multi-output functions are supported: each output becomes its own
+``Tensor`` whose VJPs invoke ``backward`` with zeros substituted for the
+gradients of the sibling outputs (correct by linearity of the VJP).
+Results are memoised per upstream gradient so a node with several
+differentiable parents still runs ``backward`` once, not once per
+parent.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, is_grad_enabled
+from repro.errors import GradientError
+
+__all__ = ["Function", "FunctionContext"]
+
+
+class FunctionContext:
+    """Scratch space carried from a Function's forward to its backward.
+
+    ``save_for_backward`` stores arrays in ``saved``; arbitrary extra
+    attributes (neuron parameters, flags, ...) may be assigned freely.
+    """
+
+    def __init__(self):
+        self.saved: tuple = ()
+        #: Per-positional-argument flags; backward may skip gradients for
+        #: arguments whose flag is False (their VJPs are never invoked).
+        self.needs_input_grad: tuple[bool, ...] = ()
+
+    def save_for_backward(self, *arrays) -> None:
+        self.saved = arrays
+
+
+class Function:
+    """Base class for raw-kernel autograd ops (see module docstring)."""
+
+    @staticmethod
+    def forward(ctx: FunctionContext, *args, **kwargs):
+        raise NotImplementedError
+
+    @staticmethod
+    def backward(ctx: FunctionContext, *grad_outputs):
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *args, **kwargs):
+        """Run the forward and record one tape node per output.
+
+        Positional ``Tensor`` arguments are the differentiable inputs;
+        they reach ``forward`` as raw ndarrays.  Returns a ``Tensor``
+        (single-output forward) or a tuple of Tensors.
+        """
+        ctx = FunctionContext()
+        ctx.needs_input_grad = tuple(
+            isinstance(a, Tensor) and a.requires_grad and is_grad_enabled()
+            for a in args
+        )
+        raw = tuple(a.data if isinstance(a, Tensor) else a for a in args)
+        outputs = cls.forward(ctx, *raw, **kwargs)
+        single = not isinstance(outputs, tuple)
+        outs = (outputs,) if single else tuple(outputs)
+
+        tensor_positions = [i for i, a in enumerate(args) if isinstance(a, Tensor)]
+        parents = tuple(args[i] for i in tensor_positions)
+        if not (is_grad_enabled() and any(p.requires_grad for p in parents)):
+            wrapped = tuple(Tensor(o) for o in outs)
+            return wrapped[0] if single else wrapped
+
+        # Memoise the full backward per (output, upstream-grad) pair so
+        # each parent's VJP reuses one backward invocation.  Holding a
+        # reference to the gradient array keeps its id() stable.
+        memo: dict[str, Any] = {"key": None, "grad_ref": None, "grads": None}
+        num_args = len(args)
+
+        def run_backward(out_index: int, grad: np.ndarray) -> tuple:
+            key = (out_index, id(grad))
+            if memo["key"] != key:
+                grad_outputs = tuple(
+                    grad if j == out_index else np.zeros_like(o)
+                    for j, o in enumerate(outs)
+                )
+                result = cls.backward(ctx, *grad_outputs)
+                if not isinstance(result, tuple):
+                    result = (result,)
+                if len(result) != num_args:
+                    raise GradientError(
+                        f"{cls.__name__}.backward returned {len(result)} gradients "
+                        f"for {num_args} forward arguments"
+                    )
+                memo.update(key=key, grad_ref=grad, grads=result)
+            return memo["grads"]
+
+        def make_vjp(out_index: int, arg_position: int):
+            def vjp(g):
+                contribution = run_backward(out_index, g)[arg_position]
+                if contribution is None:
+                    raise GradientError(
+                        f"{cls.__name__}.backward returned None for differentiable "
+                        f"argument {arg_position}"
+                    )
+                return np.asarray(contribution)
+
+            return vjp
+
+        wrapped = tuple(
+            Tensor._make_from_op(
+                out,
+                parents,
+                tuple(make_vjp(oi, pos) for pos in tensor_positions),
+            )
+            for oi, out in enumerate(outs)
+        )
+        return wrapped[0] if single else wrapped

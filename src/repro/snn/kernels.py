@@ -1,0 +1,404 @@
+"""Fused sequence kernels for the SNN time loop.
+
+The reference simulation path (:mod:`repro.snn.layers`) advances the
+neuron state one timestep at a time through the autograd tape: every
+decay, reset, matmul and Heaviside records its own node, so a ``T``-step
+pass over a layer costs thousands of Python-level graph objects.  These
+kernels collapse the entire ``[T, B, N]`` time loop into **one** tape
+node each (via :class:`repro.autograd.Function`): the forward runs the
+recurrence in raw numpy over preallocated state arrays, and the backward
+is hand-derived BPTT through the decay/reset/recurrent/surrogate path.
+
+The numerics are *identical* to the per-step reference — the same
+elementwise operations in the same order, and numpy's stacked matmul
+produces bitwise-equal projections — so fused and per-step paths are
+interchangeable.  The dispatch in :mod:`repro.snn.layers` uses the fused
+kernels whenever the effective threshold is static for the whole
+sequence (``None`` or a :class:`~repro.snn.threshold.StaticThreshold`)
+and falls back to the per-step path for dynamic
+:class:`~repro.snn.threshold.ThresholdController` policies (Alg. 1),
+whose per-timestep feedback genuinely needs the step loop.
+
+Hand-derived BPTT (hard reset, recurrent; soft reset swaps the two
+reset partials)::
+
+    forward:   I[t] = x[t] @ Wff + S[t-1] @ Wrec
+               V[t] = beta * V[t-1] * (1 - S[t-1]) + I[t]
+               S[t] = H(V[t] - vthr)
+
+    reverse:   gS[t] = dL/dS[t] + Wrec^T-path + reset-path   (from t+1)
+               gV[t] = gS[t] * surrogate'(V[t] - vthr) + beta * (1 - S[t]) * gV[t+1]
+               gI[t] = gV[t]
+               reset-path(t-1)     = -beta * V[t-1] * gV[t]     (hard)
+                                   = -vthr * gV[t]              (soft)
+               Wrec^T-path(t-1)    = gI[t] @ Wrec^T
+               gX[t]  = gI[t] @ Wff^T
+               gWff   = sum_t x[t]^T @ gI[t]
+               gWrec  = sum_t S[t-1]^T @ gI[t]
+
+Set ``REPRO_FUSED_KERNELS=0`` to force the per-step reference everywhere
+(useful when bisecting a numerical question back to first principles).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd.function import Function
+from repro.errors import ConfigError, ShapeError
+from repro.snn.neurons import LIFParameters, resolve_threshold
+
+__all__ = [
+    "lif_sequence",
+    "cuba_lif_sequence",
+    "leaky_readout_sequence",
+    "fused_enabled",
+]
+
+
+def fused_enabled() -> bool:
+    """Whether the fused kernels are globally enabled.
+
+    Controlled by the ``REPRO_FUSED_KERNELS`` environment variable;
+    anything other than ``"0"``/``"false"``/``"off"`` (or unset) enables
+    them.  Layers consult this at every forward, so flipping the
+    variable mid-process takes effect immediately.
+    """
+    return os.environ.get("REPRO_FUSED_KERNELS", "1").lower() not in ("0", "false", "off")
+
+
+def _check_sequence_args(x: np.ndarray, w_ff: np.ndarray, w_rec) -> None:
+    if x.ndim != 3:
+        raise ShapeError(f"expected [T, B, n_in] input, got shape {x.shape}")
+    if w_ff.ndim != 2 or x.shape[2] != w_ff.shape[0]:
+        raise ShapeError(
+            f"feedforward weights {w_ff.shape} do not match input features {x.shape[2]}"
+        )
+    if w_rec is not None and w_rec.shape != (w_ff.shape[1], w_ff.shape[1]):
+        raise ShapeError(
+            f"recurrent weights must be square [{w_ff.shape[1]}, {w_ff.shape[1]}], "
+            f"got {w_rec.shape}"
+        )
+
+
+def _lif_reverse_sweep(
+    g_spikes, surrogate, membrane, spikes, w_rec, params, vthr, alpha
+):
+    """Reverse BPTT sweep shared by the LIF and CuBa kernels.
+
+    Returns ``gI`` — the gradient of the loss w.r.t. the projected input
+    current at every timestep — from which all weight/input gradients
+    follow as matmuls.
+
+    **Bitwise discipline.**  Fused and per-step paths must produce the
+    *same training trajectories*, not just close ones: spiking networks
+    are chaotic, so a one-ulp gradient difference grows into different
+    spike rasters within a few optimizer steps and breaks trajectory
+    reproducibility between the two paths.  Every accumulation below
+    therefore replicates the association order of the per-step tape
+    exactly (float addition commutes but does not associate):
+
+    - ``gS[t] = (upstream + reset-path) + recurrent-path``,
+    - ``gV[t] = surrogate-path + decay-path``,
+    - partial products mirror the tape, e.g. hard reset uses
+      ``(gV * beta) * V[t-1]`` — never ``gV * (beta * V[t-1])``.
+    """
+    timesteps = spikes.shape[0]
+    beta = params.beta
+    hard = params.reset_mode == "zero"
+    w_rec_t = None if w_rec is None else w_rec.T
+    g_current = np.empty_like(spikes)
+    state_shape = spikes.shape[1:]
+    dtype = spikes.dtype
+    # Preallocated scratch: the loop runs T times over small [B, N]
+    # arrays, so per-step allocation overhead is comparable to the
+    # arithmetic itself.  in-place ufuncs keep op order (hence bits)
+    # identical.
+    gv = np.empty(state_shape, dtype)  # dL/dV[t]
+    gv_beta = np.empty(state_shape, dtype)
+    gv_carry = np.empty(state_shape, dtype)  # decay path into gV[t], from t+1
+    gs_reset = np.empty(state_shape, dtype)  # reset path into gS[t], from t+1
+    gs_rec = np.empty(state_shape, dtype)  # recurrent path into gS[t], from t+1
+    gj_carry = np.empty(state_shape, dtype)  # synaptic decay into gJ[t] (CuBa)
+    have_carry = False
+    for t in range(timesteps - 1, -1, -1):
+        gj = g_current[t]  # written in place below
+        if have_carry:
+            np.add(g_spikes[t], gs_reset, out=gv)  # gs = upstream + reset path
+            if w_rec_t is not None:
+                np.add(gv, gs_rec, out=gv)  # ... + recurrent path
+            np.multiply(gv, surrogate[t], out=gv)
+            np.add(gv, gv_carry, out=gv)
+        else:
+            np.multiply(g_spikes[t], surrogate[t], out=gv)
+        if alpha is not None:
+            # J[t] feeds V[t] directly and J[t+1] through the alpha decay.
+            if have_carry:
+                np.add(gv, gj_carry, out=gj)
+            else:
+                gj[...] = gv
+            np.multiply(gj, alpha, out=gj_carry)
+        else:
+            gj[...] = gv
+        if t > 0:
+            if hard:
+                np.multiply(gv, beta, out=gv_beta)
+                np.multiply(gv_beta, membrane[t - 1], out=gs_reset)
+                np.negative(gs_reset, out=gs_reset)
+                np.subtract(1.0, spikes[t - 1], out=gv_carry)
+                np.multiply(gv_beta, gv_carry, out=gv_carry)
+            else:
+                np.negative(gv, out=gs_reset)
+                np.multiply(gs_reset, vthr, out=gs_reset)
+                np.multiply(gv, beta, out=gv_carry)
+            if w_rec_t is not None:
+                np.matmul(gj, w_rec_t, out=gs_rec)
+            have_carry = True
+    return g_current
+
+
+def _sequence_weight_grads(ctx, x, w_ff, w_rec, spikes, g_current):
+    """Input/weight gradients from ``gI``, in the tape's summation order.
+
+    The per-step tape accumulates the feedforward weight gradient
+    forward-in-time for feedforward-only graphs but reverse-in-time when
+    a recurrent weight is present (the recurrent edge changes the
+    reverse topological order) — replicated here for bitwise parity.
+    Gradients whose ``ctx.needs_input_grad`` flag is False are skipped.
+    """
+    timesteps = spikes.shape[0]
+    needs = ctx.needs_input_grad
+    gx = g_current @ w_ff.T if needs[0] else None
+    gw_ff = None
+    if needs[1]:
+        scratch = np.empty(w_ff.shape, dtype=g_current.dtype)
+        order = range(timesteps - 1, -1, -1) if w_rec is not None else range(timesteps)
+        for t in order:
+            if gw_ff is None:
+                gw_ff = x[t].T @ g_current[t]
+            else:
+                np.matmul(x[t].T, g_current[t], out=scratch)
+                np.add(gw_ff, scratch, out=gw_ff)
+    gw_rec = None
+    if w_rec is not None and needs[2]:
+        scratch = np.empty(w_rec.shape, dtype=g_current.dtype)
+        for t in range(timesteps - 1, 0, -1):
+            if gw_rec is None:
+                gw_rec = spikes[t - 1].T @ g_current[t]
+            else:
+                np.matmul(spikes[t - 1].T, g_current[t], out=scratch)
+                np.add(gw_rec, scratch, out=gw_rec)
+        if gw_rec is None:
+            # T == 1: the recurrent weight never fired (S[-1] = 0), but
+            # it is still a differentiable input — its gradient is zero,
+            # not absent.
+            gw_rec = np.zeros(w_rec.shape, dtype=g_current.dtype)
+    return gx, gw_ff, gw_rec
+
+
+def _lif_forward_sweep(x, w_ff, w_rec, params, vthr, alpha):
+    """Forward recurrence shared by the LIF and CuBa kernels.
+
+    Runs the same elementwise operations in the same order as ``T``
+    applications of :func:`repro.snn.neurons.lif_step` /
+    :func:`~repro.snn.neurons.cuba_lif_step` (the stacked feedforward
+    GEMM is bitwise-equal to the per-step ``x[t] @ w_ff``).  Returns
+    ``(membrane, spikes)`` stacks ``[T, B, N]``.
+    """
+    timesteps, batch, _ = x.shape
+    n_out = w_ff.shape[1]
+    ff = x @ w_ff
+    dtype = ff.dtype
+    membrane = np.empty((timesteps, batch, n_out), dtype=dtype)
+    spikes = np.empty((timesteps, batch, n_out), dtype=dtype)
+    v = np.zeros((batch, n_out), dtype=dtype)
+    s = np.zeros((batch, n_out), dtype=dtype)
+    syn = np.zeros((batch, n_out), dtype=dtype) if alpha is not None else None
+    beta = params.beta
+    hard = params.reset_mode == "zero"
+    for t in range(timesteps):
+        current = ff[t] if w_rec is None else ff[t] + s @ w_rec
+        if alpha is not None:
+            syn = syn * alpha + current
+            current = syn
+        if hard:
+            v = v * (1.0 - s) * beta + current
+        else:
+            v = v * beta - s * vthr + current
+        s = (v - vthr > 0.0).astype(dtype)
+        membrane[t] = v
+        spikes[t] = s
+    return membrane, spikes
+
+
+class _LIFSequence(Function):
+    """Single tape node for a full LIF layer pass (module docstring)."""
+
+    @staticmethod
+    def forward(ctx, x, w_ff, w_rec, params, vthr):
+        membrane, spikes = _lif_forward_sweep(x, w_ff, w_rec, params, vthr, None)
+        ctx.save_for_backward(x, w_ff, w_rec, membrane, spikes)
+        ctx.params = params
+        ctx.vthr = vthr
+        return spikes
+
+    @staticmethod
+    def backward(ctx, g_spikes):
+        x, w_ff, w_rec, membrane, spikes = ctx.saved
+        params, vthr = ctx.params, ctx.vthr
+        surrogate = params.surrogate.derivative(membrane - vthr)  # [T, B, N]
+        g_current = _lif_reverse_sweep(
+            g_spikes, surrogate, membrane, spikes, w_rec, params, vthr, alpha=None
+        )
+        return _sequence_weight_grads(ctx, x, w_ff, w_rec, spikes, g_current) + (
+            None,
+            None,
+        )
+
+
+class _CubaLIFSequence(Function):
+    """LIF sequence with a synaptic low-pass current state (CuBa)."""
+
+    @staticmethod
+    def forward(ctx, x, w_ff, w_rec, params, alpha, vthr):
+        membrane, spikes = _lif_forward_sweep(x, w_ff, w_rec, params, vthr, alpha)
+        ctx.save_for_backward(x, w_ff, w_rec, membrane, spikes)
+        ctx.params = params
+        ctx.alpha = alpha
+        ctx.vthr = vthr
+        return spikes
+
+    @staticmethod
+    def backward(ctx, g_spikes):
+        x, w_ff, w_rec, membrane, spikes = ctx.saved
+        params, alpha, vthr = ctx.params, ctx.alpha, ctx.vthr
+        surrogate = params.surrogate.derivative(membrane - vthr)
+        g_current = _lif_reverse_sweep(
+            g_spikes, surrogate, membrane, spikes, w_rec, params, vthr, alpha=alpha
+        )
+        return _sequence_weight_grads(ctx, x, w_ff, w_rec, spikes, g_current) + (
+            None,
+            None,
+            None,
+        )
+
+
+class _LeakyReadoutSequence(Function):
+    """Fused non-spiking leaky integrator: returns the full trajectory."""
+
+    @staticmethod
+    def forward(ctx, x, w_ff, beta):
+        projected = x @ w_ff  # [T, B, C]
+        trajectory = np.empty_like(projected)
+        membrane = np.zeros(projected.shape[1:], dtype=projected.dtype)
+        for t in range(projected.shape[0]):
+            membrane = membrane * beta + projected[t]
+            trajectory[t] = membrane
+        ctx.save_for_backward(x, w_ff)
+        ctx.beta = beta
+        return trajectory
+
+    @staticmethod
+    def backward(ctx, g_trajectory):
+        x, w_ff = ctx.saved
+        beta = ctx.beta
+        timesteps = g_trajectory.shape[0]
+        # Same bitwise discipline as _lif_reverse_sweep: membrane adjoint
+        # associates as (upstream + decay-path); the feedforward weight
+        # gradient accumulates forward-in-time (feedforward-only graph).
+        g_membrane = np.empty_like(g_trajectory)
+        carry = None
+        for t in range(timesteps - 1, -1, -1):
+            gm = g_trajectory[t] if carry is None else g_trajectory[t] + carry
+            g_membrane[t] = gm
+            carry = gm * beta
+        gx = g_membrane @ w_ff.T if ctx.needs_input_grad[0] else None
+        gw_ff = None
+        if ctx.needs_input_grad[1]:
+            for t in range(timesteps):
+                contribution = x[t].T @ g_membrane[t]
+                gw_ff = contribution if gw_ff is None else gw_ff + contribution
+        return gx, gw_ff, None
+
+
+def lif_sequence(
+    x: Tensor | np.ndarray,
+    w_ff: Tensor | np.ndarray,
+    params: LIFParameters,
+    w_rec: Tensor | np.ndarray | None = None,
+    threshold=None,
+) -> Tensor:
+    """Run a whole LIF layer sequence as one fused tape node.
+
+    Parameters
+    ----------
+    x:
+        Input spikes/activations ``[T, B, n_in]``.
+    w_ff:
+        Feedforward weights ``[n_in, n_out]``.
+    params:
+        Neuron constants (decay, reset mode, surrogate family).
+    w_rec:
+        Optional recurrent weights ``[n_out, n_out]``.
+    threshold:
+        Static effective ``Vthr`` — scalar or per-neuron ``[n_out]``
+        array; defaults to ``params.threshold``.  Dynamic thresholds
+        (Alg. 1 controllers) are *not* representable here — callers must
+        use the per-step path for those.
+
+    Returns the output spike raster ``[T, B, n_out]``, numerically
+    identical to ``T`` applications of :func:`repro.snn.neurons.lif_step`.
+    """
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    w_ff = w_ff if isinstance(w_ff, Tensor) else Tensor(w_ff)
+    if w_rec is not None and not isinstance(w_rec, Tensor):
+        w_rec = Tensor(w_rec)
+    _check_sequence_args(x.data, w_ff.data, None if w_rec is None else w_rec.data)
+    vthr = resolve_threshold(params, threshold, dtype=x.data.dtype)
+    return _LIFSequence.apply(x, w_ff, w_rec, params, vthr)
+
+
+def cuba_lif_sequence(
+    x: Tensor | np.ndarray,
+    w_ff: Tensor | np.ndarray,
+    params: LIFParameters,
+    alpha: float,
+    w_rec: Tensor | np.ndarray | None = None,
+    threshold=None,
+) -> Tensor:
+    """Fused current-based (CuBa) LIF sequence.
+
+    Same contract as :func:`lif_sequence` with the synaptic low-pass
+    state ``J[t] = alpha * J[t-1] + I[t]`` of
+    :func:`repro.snn.neurons.cuba_lif_step` inserted before integration.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ConfigError(f"synaptic alpha must lie in (0, 1), got {alpha}")
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    w_ff = w_ff if isinstance(w_ff, Tensor) else Tensor(w_ff)
+    if w_rec is not None and not isinstance(w_rec, Tensor):
+        w_rec = Tensor(w_rec)
+    _check_sequence_args(x.data, w_ff.data, None if w_rec is None else w_rec.data)
+    vthr = resolve_threshold(params, threshold, dtype=x.data.dtype)
+    return _CubaLIFSequence.apply(x, w_ff, w_rec, params, float(alpha), vthr)
+
+
+def leaky_readout_sequence(
+    x: Tensor | np.ndarray,
+    w_ff: Tensor | np.ndarray,
+    beta: float,
+) -> Tensor:
+    """Fused leaky-integrator readout: membrane trajectory ``[T, B, C]``.
+
+    The caller applies the logit reduction (mean/max/last) on the
+    returned trajectory; those reductions are cheap single tape nodes.
+    """
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    w_ff = w_ff if isinstance(w_ff, Tensor) else Tensor(w_ff)
+    _check_sequence_args(x.data, w_ff.data, None)
+    if not 0.0 < beta < 1.0:
+        raise ConfigError(f"readout beta must lie in (0, 1), got {beta}")
+    return _LeakyReadoutSequence.apply(x, w_ff, float(beta))

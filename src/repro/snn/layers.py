@@ -2,6 +2,19 @@
 
 Layout convention: spike/current sequences are **time-major** numpy
 arrays or Tensors of shape ``[T, B, N]`` (timesteps, batch, neurons).
+
+Each layer has two numerically identical execution paths:
+
+- the **fused** path (:mod:`repro.snn.kernels`) runs the whole time loop
+  inside a single autograd tape node — the fast default whenever the
+  effective threshold is static over the sequence;
+- the **per-step** path advances one timestep at a time through the
+  tape, which is required when a dynamic
+  :class:`~repro.snn.threshold.ThresholdController` (Alg. 1) feeds spike
+  activity back into the threshold every step.
+
+Dispatch is automatic; ``layer.last_forward_path`` records which path
+the most recent forward took (``"fused"`` or ``"steps"``).
 """
 
 from __future__ import annotations
@@ -12,11 +25,27 @@ from repro.autograd import Tensor, stack, zeros
 from repro.autograd.tensor import no_grad
 from repro.errors import ShapeError
 from repro.errors import ConfigError
+from repro.snn import kernels
 from repro.snn.init import dense_init, recurrent_init
 from repro.snn.neurons import LIFParameters, cuba_lif_step, lif_step
 from repro.snn.threshold import StaticThreshold, ThresholdController
 
 __all__ = ["RecurrentLIFLayer", "LeakyReadout"]
+
+
+def _static_threshold(controller: "ThresholdController | None", default: float):
+    """Effective static ``Vthr`` for a sequence, or None when dynamic.
+
+    Only a missing controller or an exact :class:`StaticThreshold`
+    guarantees the threshold cannot change mid-sequence — anything else
+    (including subclasses, which may override ``step``) must run
+    per-step so the controller observes every timestep's activity.
+    """
+    if controller is None:
+        return default
+    if type(controller) is StaticThreshold:
+        return controller.value
+    return None
 
 
 class RecurrentLIFLayer:
@@ -65,6 +94,8 @@ class RecurrentLIFLayer:
         self.recurrent = bool(recurrent)
         self.name = name
         self.synapse_alpha = synapse_alpha
+        self.use_fused = True
+        self.last_forward_path: str | None = None
         self.w_ff = dense_init(rng, n_in, n_out, gain=ff_gain or self.FF_GAIN)
         self.w_rec = recurrent_init(rng, n_out) if recurrent else None
 
@@ -121,9 +152,28 @@ class RecurrentLIFLayer:
             )
         needs_graph = self.trainable or x.requires_grad
         if needs_graph:
-            return self._forward_steps(x, controller)
+            return self._dispatch(x, controller)
         with no_grad():
-            return self._forward_steps(x, controller)
+            return self._dispatch(x, controller)
+
+    def _dispatch(self, x: Tensor, controller: ThresholdController | None) -> Tensor:
+        """Route to the fused kernel when the threshold is static."""
+        vthr = _static_threshold(controller, self.params.threshold)
+        if vthr is not None and self.use_fused and kernels.fused_enabled():
+            self.last_forward_path = "fused"
+            return self._forward_fused(x, vthr)
+        self.last_forward_path = "steps"
+        return self._forward_steps(x, controller)
+
+    def _forward_fused(self, x: Tensor, vthr) -> Tensor:
+        if self.synapse_alpha is not None:
+            return kernels.cuba_lif_sequence(
+                x, self.w_ff, self.params, self.synapse_alpha,
+                w_rec=self.w_rec, threshold=vthr,
+            )
+        return kernels.lif_sequence(
+            x, self.w_ff, self.params, w_rec=self.w_rec, threshold=vthr
+        )
 
     def _forward_steps(
         self, x: Tensor, controller: ThresholdController | None
@@ -191,6 +241,8 @@ class LeakyReadout:
         self.beta = float(beta)
         self.name = name
         self.readout_mode = readout_mode
+        self.use_fused = True
+        self.last_forward_path: str | None = None
         self.w_ff = dense_init(rng, n_in, n_out)
 
     def parameters(self) -> list[Tensor]:
@@ -230,6 +282,11 @@ class LeakyReadout:
         return self._integrate(x)
 
     def _integrate(self, x: Tensor) -> Tensor:
+        if self.use_fused and 0.0 < self.beta < 1.0 and kernels.fused_enabled():
+            self.last_forward_path = "fused"
+            stacked = kernels.leaky_readout_sequence(x, self.w_ff, self.beta)
+            return self._reduce(stacked)
+        self.last_forward_path = "steps"
         timesteps, batch = x.shape[0], x.shape[1]
         membrane = zeros((batch, self.n_out))
         trajectory: list[Tensor] = []
@@ -238,7 +295,12 @@ class LeakyReadout:
             trajectory.append(membrane)
         if self.readout_mode == "last":
             return trajectory[-1]
-        stacked = stack(trajectory, axis=0)  # [T, B, C]
+        return self._reduce(stack(trajectory, axis=0))
+
+    def _reduce(self, stacked: Tensor) -> Tensor:
+        """Collapse a membrane trajectory ``[T, B, C]`` into logits."""
+        if self.readout_mode == "last":
+            return stacked[-1]
         if self.readout_mode == "max":
             return stacked.max(axis=0)
         return stacked.mean(axis=0)

@@ -25,7 +25,7 @@ from repro.autograd import Tensor
 from repro.autograd.surrogate import SurrogateSpec, fast_sigmoid_surrogate, spike
 from repro.errors import ConfigError
 
-__all__ = ["LIFParameters", "lif_step", "cuba_lif_step"]
+__all__ = ["LIFParameters", "lif_step", "cuba_lif_step", "resolve_threshold"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +62,26 @@ class LIFParameters:
             )
 
 
+def resolve_threshold(params: LIFParameters, threshold, dtype=None):
+    """Resolve the effective ``Vthr`` for a step or sequence kernel.
+
+    Returns ``params.threshold`` when ``threshold`` is None, a float for
+    scalar overrides, or an ndarray (cast to ``dtype`` when given) for
+    per-neuron overrides.  Raises :class:`ConfigError` on non-positive
+    values — a zero or negative threshold makes every neuron fire every
+    step and silently destroys training.
+    """
+    if threshold is None:
+        vthr = params.threshold
+    elif np.isscalar(threshold):
+        vthr = float(threshold)
+    else:
+        vthr = np.asarray(threshold, dtype=dtype)
+    if np.any(np.asarray(vthr) <= 0.0):
+        raise ConfigError(f"effective threshold must be positive, got {vthr}")
+    return vthr
+
+
 def lif_step(
     membrane: Tensor,
     prev_spikes: Tensor,
@@ -93,14 +113,7 @@ def lif_step(
     (membrane, spikes):
         ``V[t]`` and ``S[t]``.
     """
-    if threshold is None:
-        vthr = params.threshold
-    elif np.isscalar(threshold):
-        vthr = float(threshold)
-    else:
-        vthr = np.asarray(threshold, dtype=membrane.data.dtype)
-    if np.any(np.asarray(vthr) <= 0.0):
-        raise ConfigError(f"effective threshold must be positive, got {vthr}")
+    vthr = resolve_threshold(params, threshold, dtype=membrane.data.dtype)
 
     if params.reset_mode == "zero":
         decayed = membrane * (1.0 - prev_spikes) * params.beta

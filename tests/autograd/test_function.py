@@ -1,0 +1,147 @@
+"""Tests for the raw-kernel Function hook (multi-output tape nodes)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Function, Tensor, gradcheck, no_grad
+from repro.errors import GradientError
+
+
+class ScaledMatmul(Function):
+    """y = (a @ b) * scale — scale is a non-differentiable python float."""
+
+    @staticmethod
+    def forward(ctx, a, b, scale):
+        ctx.save_for_backward(a, b)
+        ctx.scale = scale
+        return (a @ b) * scale
+
+    @staticmethod
+    def backward(ctx, g):
+        a, b = ctx.saved
+        return g @ b.T * ctx.scale, a.T @ g * ctx.scale, None
+
+
+class SumAndProduct(Function):
+    """Multi-output: returns (a + b, a * b)."""
+
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save_for_backward(a, b)
+        return a + b, a * b
+
+    @staticmethod
+    def backward(ctx, g_sum, g_prod):
+        a, b = ctx.saved
+        return g_sum + g_prod * b, g_sum + g_prod * a
+
+
+class BadArity(Function):
+    @staticmethod
+    def forward(ctx, a):
+        return a * 2.0
+
+    @staticmethod
+    def backward(ctx, g):
+        return g * 2.0, None  # one gradient too many
+
+
+class RefusesGrad(Function):
+    @staticmethod
+    def forward(ctx, a):
+        return a * 2.0
+
+    @staticmethod
+    def backward(ctx, g):
+        return None
+
+
+class TestSingleOutput:
+    def test_forward_value(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3, 4)), requires_grad=True)
+        out = ScaledMatmul.apply(a, b, 0.5)
+        assert np.allclose(out.data, 1.5)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 2))
+        assert gradcheck(lambda x, y: ScaledMatmul.apply(x, y, 0.7), [a, b])
+
+    def test_matches_tensor_ops(self):
+        rng = np.random.default_rng(1)
+        a_data = rng.standard_normal((3, 4)).astype(np.float32)
+        b_data = rng.standard_normal((4, 2)).astype(np.float32)
+        g = rng.standard_normal((3, 2)).astype(np.float32)
+
+        a1, b1 = Tensor(a_data, requires_grad=True), Tensor(b_data, requires_grad=True)
+        ScaledMatmul.apply(a1, b1, 2.0).backward(g)
+        a2, b2 = Tensor(a_data, requires_grad=True), Tensor(b_data, requires_grad=True)
+        ((a2 @ b2) * 2.0).backward(g)
+        assert np.allclose(a1.grad, a2.grad, atol=1e-6)
+        assert np.allclose(b1.grad, b2.grad, atol=1e-6)
+
+    def test_no_grad_builds_no_tape(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with no_grad():
+            out = ScaledMatmul.apply(a, Tensor(np.ones((2, 2))), 1.0)
+        assert not out.requires_grad
+        assert out._parents == ()
+
+    def test_untracked_inputs_build_no_tape(self):
+        out = ScaledMatmul.apply(Tensor(np.ones((2, 2))), Tensor(np.ones((2, 2))), 1.0)
+        assert not out.requires_grad
+
+    def test_needs_input_grad_flags(self):
+        captured = {}
+
+        class Probe(Function):
+            @staticmethod
+            def forward(ctx, a, b, c):
+                captured["needs"] = ctx.needs_input_grad
+                return a + b
+
+            @staticmethod
+            def backward(ctx, g):
+                return g, g, None
+
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3))
+        Probe.apply(a, b, "meta")
+        assert captured["needs"] == (True, False, False)
+
+
+class TestMultiOutput:
+    def test_both_outputs_flow(self):
+        rng = np.random.default_rng(2)
+        a_data = rng.standard_normal(5)
+        b_data = rng.standard_normal(5)
+
+        def fn(a, b):
+            s, p = SumAndProduct.apply(a, b)
+            return s * 2.0 + p
+
+        assert gradcheck(fn, [a_data, b_data])
+
+    def test_single_output_use(self):
+        a = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([4.0, 5.0]), requires_grad=True)
+        _, p = SumAndProduct.apply(a, b)
+        p.backward(np.ones(2))
+        assert np.allclose(a.grad, b.data)
+        assert np.allclose(b.grad, a.data)
+
+
+class TestErrors:
+    def test_wrong_arity_raises(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = BadArity.apply(a)
+        with pytest.raises(GradientError):
+            out.backward(np.ones(3))
+
+    def test_none_for_differentiable_input_raises(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = RefusesGrad.apply(a)
+        with pytest.raises(GradientError):
+            out.backward(np.ones(3))

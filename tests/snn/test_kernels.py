@@ -1,0 +1,282 @@
+"""Fused sequence kernels: parity with the per-step reference, gradient
+checks, and dispatch/fallback behavior.
+
+The fused kernels promise *bitwise* forward parity and *bitwise*
+gradient parity with the per-step tape (see the bitwise-discipline note
+in :mod:`repro.snn.kernels`) — the tests below assert exact equality in
+float32 and gradcheck-level agreement (<= 1e-5) in float64.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.snn import (
+    AdaptiveSpikeTimingThreshold,
+    LeakyReadout,
+    LIFParameters,
+    PerNeuronAdaptiveThreshold,
+    RecurrentLIFLayer,
+    SpikingNetwork,
+    StaticThreshold,
+    cuba_lif_sequence,
+    fused_enabled,
+    leaky_readout_sequence,
+    lif_sequence,
+)
+from repro.config import NetworkConfig
+from repro.errors import ConfigError, ShapeError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def make_layer(reset_mode="zero", recurrent=True, synapse_alpha=None, n_in=10, n_out=7):
+    params = LIFParameters(beta=0.9, reset_mode=reset_mode)
+    return RecurrentLIFLayer(
+        n_in,
+        n_out,
+        params,
+        recurrent=recurrent,
+        rng=np.random.default_rng(5),
+        synapse_alpha=synapse_alpha,
+    )
+
+
+def run_both_paths(layer, x, g_up):
+    """Forward+backward on each path; return (out, grads) per path."""
+    results = []
+    for fused in (True, False):
+        layer.use_fused = fused
+        out = layer.forward(x)
+        out.backward(g_up)
+        grads = [p.grad.copy() for p in layer.parameters()]
+        for p in layer.parameters():
+            p.zero_grad()
+        results.append((out.data.copy(), grads))
+    return results
+
+
+@pytest.mark.parametrize("reset_mode", ["zero", "subtract"])
+@pytest.mark.parametrize("recurrent", [True, False])
+class TestLIFParity:
+    def test_forward_and_gradient_bitwise(self, rng, reset_mode, recurrent):
+        layer = make_layer(reset_mode=reset_mode, recurrent=recurrent)
+        x = (rng.random((18, 3, 10)) < 0.35).astype(np.float32)
+        g_up = rng.standard_normal((18, 3, 7)).astype(np.float32)
+        (out_f, grads_f), (out_s, grads_s) = run_both_paths(layer, x, g_up)
+        assert np.array_equal(out_f, out_s)
+        for gf, gs in zip(grads_f, grads_s):
+            assert np.array_equal(gf, gs)
+
+    def test_cuba_forward_and_gradient_bitwise(self, rng, reset_mode, recurrent):
+        layer = make_layer(reset_mode=reset_mode, recurrent=recurrent, synapse_alpha=0.7)
+        x = (rng.random((18, 3, 10)) < 0.35).astype(np.float32)
+        g_up = rng.standard_normal((18, 3, 7)).astype(np.float32)
+        (out_f, grads_f), (out_s, grads_s) = run_both_paths(layer, x, g_up)
+        assert np.array_equal(out_f, out_s)
+        for gf, gs in zip(grads_f, grads_s):
+            assert np.array_equal(gf, gs)
+
+
+@pytest.mark.parametrize("reset_mode", ["zero", "subtract"])
+@pytest.mark.parametrize("recurrent", [True, False])
+class TestGradientParityFloat64:
+    """Fused gradients vs. the per-step reference at gradcheck tolerance.
+
+    Finite differences cannot probe through the Heaviside forward, so
+    the per-step tape (the gradcheck-certified composition of primitive
+    ops) is the reference; in float64 both paths agree to ~1e-12,
+    comfortably within the 1e-5 budget.
+    """
+
+    ATOL = 1e-5
+
+    def _to_f64(self, layer):
+        for p in layer.parameters():
+            p.data = p.data.astype(np.float64)
+
+    @pytest.mark.parametrize("alpha", [None, 0.7])
+    def test_grads_within_tolerance(self, rng, reset_mode, recurrent, alpha):
+        layer = make_layer(reset_mode=reset_mode, recurrent=recurrent, synapse_alpha=alpha)
+        self._to_f64(layer)
+        x = (rng.random((20, 3, 10)) < 0.35).astype(np.float64)
+        g_up = rng.standard_normal((20, 3, 7))
+        (_, grads_f), (_, grads_s) = run_both_paths(layer, x, g_up)
+        for gf, gs in zip(grads_f, grads_s):
+            assert np.allclose(gf, gs, atol=self.ATOL, rtol=0.0)
+
+
+class TestReadoutParity:
+    @pytest.mark.parametrize("mode", ["mean", "max", "last"])
+    def test_forward_and_gradient_bitwise(self, rng, mode):
+        readout = LeakyReadout(
+            8, 5, beta=0.9, rng=np.random.default_rng(2), readout_mode=mode
+        )
+        x = (rng.random((16, 3, 8)) < 0.4).astype(np.float32)
+        outputs, grads = [], []
+        for fused in (True, False):
+            readout.use_fused = fused
+            out = readout.forward(x)
+            g = np.ones(out.shape, dtype=np.float32)
+            out.backward(g)
+            outputs.append(out.data.copy())
+            grads.append(readout.w_ff.grad.copy())
+            readout.w_ff.zero_grad()
+        assert np.array_equal(outputs[0], outputs[1])
+        assert np.array_equal(grads[0], grads[1])
+
+    def test_numerical_gradcheck(self, rng):
+        # The readout has no Heaviside, so true finite-difference
+        # verification applies to the fused kernel directly.
+        x = rng.standard_normal((6, 2, 4))
+        w = rng.standard_normal((4, 3))
+        assert gradcheck(lambda a, b: leaky_readout_sequence(a, b, 0.9), [x, w])
+
+
+class TestKernelAPI:
+    def test_lif_sequence_shapes_and_binary(self, rng):
+        x = (rng.random((12, 2, 6)) < 0.4).astype(np.float32)
+        w = rng.standard_normal((6, 4)).astype(np.float32) * 0.8
+        out = lif_sequence(x, w, LIFParameters(beta=0.9))
+        assert out.shape == (12, 2, 4)
+        assert set(np.unique(out.data)).issubset({0.0, 1.0})
+
+    def test_per_neuron_threshold_array(self, rng):
+        x = (rng.random((10, 2, 6)) < 0.5).astype(np.float32)
+        w = rng.standard_normal((6, 4)).astype(np.float32)
+        vthr = np.array([0.5, 1.0, 1.5, 2.0], dtype=np.float32)
+        out = lif_sequence(x, w, LIFParameters(beta=0.9), threshold=vthr)
+        assert out.shape == (10, 2, 4)
+
+    def test_rejects_bad_shapes(self, rng):
+        w = np.zeros((6, 4), dtype=np.float32)
+        with pytest.raises(ShapeError):
+            lif_sequence(np.zeros((5, 6), dtype=np.float32), w, LIFParameters())
+        with pytest.raises(ShapeError):
+            lif_sequence(
+                np.zeros((5, 2, 3), dtype=np.float32), w, LIFParameters()
+            )
+        with pytest.raises(ShapeError):
+            lif_sequence(
+                np.zeros((5, 2, 6), dtype=np.float32),
+                w,
+                LIFParameters(),
+                w_rec=np.zeros((3, 3), dtype=np.float32),
+            )
+
+    def test_rejects_nonpositive_threshold(self, rng):
+        x = np.zeros((4, 1, 6), dtype=np.float32)
+        w = np.zeros((6, 4), dtype=np.float32)
+        with pytest.raises(ConfigError):
+            lif_sequence(x, w, LIFParameters(), threshold=-1.0)
+
+    def test_cuba_rejects_bad_alpha(self):
+        x = np.zeros((4, 1, 6), dtype=np.float32)
+        w = np.zeros((6, 4), dtype=np.float32)
+        with pytest.raises(ConfigError):
+            cuba_lif_sequence(x, w, LIFParameters(), alpha=1.5)
+
+    def test_single_timestep_recurrent_gradient(self, rng):
+        # T=1 means the recurrent weight never fires (S[-1] = 0); its
+        # gradient must be zero, not missing (regression: the fused
+        # backward used to return None for it).
+        layer = make_layer()
+        x = (rng.random((1, 2, 10)) < 0.8).astype(np.float32)
+        g_up = np.ones((1, 2, 7), dtype=np.float32)
+        (out_f, grads_f), (out_s, grads_s) = run_both_paths(layer, x, g_up)
+        assert np.array_equal(out_f, out_s)
+        for gf, gs in zip(grads_f, grads_s):
+            assert np.array_equal(gf, gs)
+        assert np.array_equal(grads_f[1], np.zeros_like(grads_f[1]))
+
+    def test_frozen_weights_skip_weight_grad(self, rng):
+        x = Tensor(
+            (rng.random((8, 2, 6)) < 0.4).astype(np.float32), requires_grad=True
+        )
+        w = Tensor(rng.standard_normal((6, 4)).astype(np.float32))
+        out = lif_sequence(x, w, LIFParameters(beta=0.9))
+        out.backward(np.ones(out.shape, dtype=np.float32))
+        assert x.grad is not None
+        assert w.grad is None
+
+
+class TestDispatch:
+    def test_static_controller_uses_fused(self, rng):
+        layer = make_layer()
+        x = (rng.random((6, 2, 10)) < 0.3).astype(np.float32)
+        layer.forward(x)
+        assert layer.last_forward_path == "fused"
+        layer.forward(x, StaticThreshold(1.2))
+        assert layer.last_forward_path == "fused"
+
+    def test_dynamic_controller_falls_back(self, rng):
+        layer = make_layer()
+        x = (rng.random((6, 2, 10)) < 0.3).astype(np.float32)
+        layer.forward(x, AdaptiveSpikeTimingThreshold(timesteps=6))
+        assert layer.last_forward_path == "steps"
+        layer.forward(
+            x, PerNeuronAdaptiveThreshold(num_neurons=7, timesteps=6)
+        )
+        assert layer.last_forward_path == "steps"
+
+    def test_dynamic_controller_state_advances(self, rng):
+        # The fallback must actually feed the controller every timestep.
+        layer = make_layer()
+        x = (rng.random((9, 2, 10)) < 0.5).astype(np.float32)
+        controller = AdaptiveSpikeTimingThreshold(timesteps=9)
+        layer.forward(x, controller)
+        assert controller.mean_spike_time is not None
+
+    def test_static_subclass_falls_back(self, rng):
+        # Subclasses may override step(); only an exact StaticThreshold
+        # is provably static over the sequence.
+        class Probe(StaticThreshold):
+            pass
+
+        layer = make_layer()
+        x = (rng.random((5, 2, 10)) < 0.3).astype(np.float32)
+        layer.forward(x, Probe(1.0))
+        assert layer.last_forward_path == "steps"
+
+    def test_use_fused_flag(self, rng):
+        layer = make_layer()
+        x = (rng.random((5, 2, 10)) < 0.3).astype(np.float32)
+        layer.use_fused = False
+        layer.forward(x)
+        assert layer.last_forward_path == "steps"
+
+    def test_env_kill_switch(self, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSED_KERNELS", "0")
+        assert not fused_enabled()
+        layer = make_layer()
+        x = (rng.random((5, 2, 10)) < 0.3).astype(np.float32)
+        layer.forward(x)
+        assert layer.last_forward_path == "steps"
+        monkeypatch.setenv("REPRO_FUSED_KERNELS", "1")
+        assert fused_enabled()
+
+    def test_network_set_fused(self, rng):
+        net = SpikingNetwork(NetworkConfig(layer_sizes=(12, 8, 6, 4)), seed=0)
+        x = (rng.random((6, 2, 12)) < 0.3).astype(np.float32)
+        net.set_fused(False)
+        net.forward(x)
+        assert all(l.last_forward_path == "steps" for l in net.hidden_layers)
+        assert net.readout.last_forward_path == "steps"
+        net.set_fused(True)
+        net.forward(x)
+        assert all(l.last_forward_path == "fused" for l in net.hidden_layers)
+        assert net.readout.last_forward_path == "fused"
+
+    def test_network_forward_bitwise_parity(self, rng):
+        net = SpikingNetwork(
+            NetworkConfig(layer_sizes=(12, 8, 6, 4), recurrent=True), seed=1
+        )
+        x = (rng.random((10, 3, 12)) < 0.3).astype(np.float32)
+        net.set_fused(True)
+        fused_logits = net.forward(x).logits.data.copy()
+        net.set_fused(False)
+        steps_logits = net.forward(x).logits.data.copy()
+        assert np.array_equal(fused_logits, steps_logits)
