@@ -153,3 +153,15 @@ def test_bitpack_roundtrip(benchmark, rng):
         return codec.decompress(packed, shape)
 
     benchmark(roundtrip)
+
+
+def test_store_shard_roundtrip(benchmark, rng):
+    """Replay-store shard encode+decode (the store-backed replay path's
+    per-cache-miss cost); in-memory so the timing is filesystem-free."""
+    from repro.replaystore import decode_shard, encode_shard
+
+    t_long, _, batch = _sizes()
+    raster = (rng.random((t_long, 8 * batch, 64)) < 0.1).astype(np.float32)
+    labels = rng.integers(0, 10, 8 * batch)
+
+    benchmark(lambda: decode_shard(encode_shard(raster, labels)))

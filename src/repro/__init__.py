@@ -11,6 +11,8 @@ scratch on numpy:
   class-incremental task machinery.
 - :mod:`repro.compression` — spike-train codecs (the Fig. 7 subsampling
   codec, bit-packing, address-event).
+- :mod:`repro.replaystore` — persistent, byte-budgeted, streaming
+  replay-memory engine (sharded on-disk latent buffers).
 - :mod:`repro.training` — optimizers, losses, BPTT trainer, metrics.
 - :mod:`repro.core` — the NCL methods: naive fine-tuning, the SpikingLR
   state-of-the-art comparator, and Replay4NCL itself.

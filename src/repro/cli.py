@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig11 --scale bench   # reproduce one figure
     python -m repro run all --scale ci        # everything, quickly
     python -m repro info                      # version + inventory
+    python -m repro store stats runs/buffer   # replay-store maintenance
 """
 
 from __future__ import annotations
@@ -41,6 +42,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--results", default="benchmarks/results",
         help="directory holding <figure>.json results",
     )
+
+    store = sub.add_parser("store", help="inspect/maintain an on-disk replay store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    inspect = store_sub.add_parser("inspect", help="per-shard table of a store")
+    inspect.add_argument("root", help="store directory (holds index.json)")
+    stats = store_sub.add_parser(
+        "stats", help="aggregate stats + latent-memory model cross-check"
+    )
+    stats.add_argument("root", help="store directory (holds index.json)")
+    compact = store_sub.add_parser(
+        "compact", help="rewrite shards at uniform occupancy"
+    )
+    compact.add_argument("root", help="store directory (holds index.json)")
+    compact.add_argument(
+        "--shard-samples", type=int, default=None,
+        help="retarget samples per shard (default: keep the store's setting)",
+    )
     return parser
 
 
@@ -61,7 +79,10 @@ def _cmd_info() -> int:
     import repro
 
     print(f"repro {repro.__version__} — Replay4NCL (DAC 2025) reproduction")
-    print("packages: autograd, snn, data, compression, training, core, hw, eval")
+    print(
+        "packages: autograd, snn, data, compression, replaystore, training, "
+        "core, hw, eval"
+    )
     print("see DESIGN.md for the system inventory and EXPERIMENTS.md for results")
     return 0
 
@@ -80,6 +101,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.save_dir:
             json_path, csv_path = result.save(args.save_dir)
             print(f"saved {json_path} and {csv_path}")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.hw.memory import audit_store
+    from repro.replaystore import ReplayStore
+
+    store = ReplayStore.open(args.root)
+    if args.store_command == "inspect":
+        print(f"{store!r}  T={store.meta.stored_frames} C={store.meta.num_channels} "
+              f"factor={store.meta.codec_factor} Lins={store.meta.insertion_layer}")
+        print(f"{'shard':>5s} {'file':20s} {'samples':>7s} {'codec':>8s} "
+              f"{'payload B':>10s} {'offset':>7s}")
+        for i, shard in enumerate(store.shards):
+            print(f"{i:5d} {shard.file:20s} {shard.num_samples:7d} "
+                  f"{shard.codec:>8s} {shard.payload_bytes:10d} "
+                  f"{shard.payload_offset:7d}")
+        return 0
+    if args.store_command == "stats":
+        stats = store.stats()
+        audit = audit_store(store)
+        print(f"samples:        {stats.num_samples} in {stats.num_shards} shards")
+        print(f"geometry:       T={stats.stored_frames} C={stats.num_channels}")
+        print(f"codec shards:   {stats.codec_shards}")
+        print(f"class counts:   {stats.class_counts}")
+        print(f"payload bytes:  {stats.payload_bytes} "
+              f"({stats.bytes_per_sample:.1f} B/sample)")
+        print(f"disk bytes:     {stats.disk_bytes} "
+              f"(format overhead {audit.format_overhead_bytes} B)")
+        print(f"model bytes:    {audit.modelled_bytes} "
+              f"(payload saving {audit.payload_saving:.1%})")
+        return 0
+    before = store.num_shards
+    after = store.compact(args.shard_samples)
+    print(f"compacted {before} -> {after} shards "
+          f"({store.meta.shard_samples} samples/shard)")
     return 0
 
 
@@ -107,6 +164,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_info()
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "store":
+            return _cmd_store(args)
         return _cmd_run(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -27,14 +27,17 @@ from repro.compression.bitpack import BitpackCodec
 from repro.compression.subsample import TemporalSubsampleCodec
 from repro.data.datasets import SpikeDataset
 from repro.errors import CodecError, ConfigError
+from repro.replaystore.builder import SAMPLE_HEADER_BYTES
 from repro.snn.network import SpikingNetwork
 from repro.snn.threshold import ThresholdController
 
-__all__ = ["LatentReplayBuffer"]
+__all__ = ["LatentReplayBuffer", "HEADER_BYTES_PER_SAMPLE"]
 
 #: Bytes of per-sample metadata (label id, sample length) charged by the
-#: storage model on top of the packed payload.
-HEADER_BYTES_PER_SAMPLE = 8
+#: storage model on top of the packed payload.  Shared with the
+#: replay-store budget accounting (the single authority lives in
+#: :mod:`repro.replaystore.builder`).
+HEADER_BYTES_PER_SAMPLE = SAMPLE_HEADER_BYTES
 
 
 @dataclass
@@ -143,6 +146,59 @@ class LatentReplayBuffer:
         """
         payload = BitpackCodec().packed_bytes(self.compressed.shape)
         return payload + HEADER_BYTES_PER_SAMPLE * self.num_samples
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.replaystore)
+    # ------------------------------------------------------------------
+    def to_store(
+        self,
+        root,
+        shard_samples: int | None = None,
+        overwrite: bool = False,
+    ) -> "ReplayStore":
+        """Persist this buffer as a sharded on-disk replay store.
+
+        The dense raster is chunked into shards of ``shard_samples``
+        columns (``replaystore`` default when None), each encoded with
+        the smaller of the bitpack/address-event codecs for its density.
+        The returned store round-trips exactly: see :meth:`from_store`.
+        """
+        from repro.replaystore.store import DEFAULT_SHARD_SAMPLES, ReplayStore
+
+        store = ReplayStore.create(
+            root,
+            stored_frames=self.stored_frames,
+            num_channels=self.num_channels,
+            generated_timesteps=self.generated_timesteps,
+            insertion_layer=self.insertion_layer,
+            codec_factor=self.codec.factor,
+            shard_samples=shard_samples or DEFAULT_SHARD_SAMPLES,
+            overwrite=overwrite,
+        )
+        store.append(self.compressed, self.labels)
+        return store
+
+    @classmethod
+    def from_store(cls, root) -> "LatentReplayBuffer":
+        """Rebuild the dense buffer from a store (exact inverse of
+        :meth:`to_store` — shard codecs are lossless)."""
+        from repro.replaystore.store import ReplayStore
+
+        store = root if isinstance(root, ReplayStore) else ReplayStore.open(root)
+        if store.num_samples == 0:
+            raise ConfigError(f"store at {store.root} holds no samples")
+        rasters, labels = [], []
+        for shard_id in range(store.num_shards):
+            raster, shard_labels = store.read_shard(shard_id)
+            rasters.append(raster)
+            labels.append(shard_labels)
+        return cls(
+            compressed=np.concatenate(rasters, axis=1),
+            labels=np.concatenate(labels),
+            insertion_layer=store.meta.insertion_layer,
+            generated_timesteps=store.meta.generated_timesteps,
+            codec=TemporalSubsampleCodec(store.meta.codec_factor),
+        )
 
     # ------------------------------------------------------------------
     # Replay

@@ -66,9 +66,21 @@ def run_method(
     method: NCLMethod,
     pretrained: PretrainResult | SpikingNetwork,
     split: ClassIncrementalSplit,
+    replay_store_dir=None,
+    store_shard_samples: int | None = None,
 ) -> NCLResult:
-    """Run one NCL method from a shared pre-trained model."""
+    """Run one NCL method from a shared pre-trained model.
+
+    ``replay_store_dir`` routes replay through an on-disk
+    :class:`~repro.replaystore.store.ReplayStore` instead of the dense
+    in-memory buffer (see :meth:`NCLMethod.run`).
+    """
     network = (
         pretrained.network if isinstance(pretrained, PretrainResult) else pretrained
     )
-    return method.run(network, split)
+    return method.run(
+        network,
+        split,
+        replay_store_dir=replay_store_dir,
+        store_shard_samples=store_shard_samples,
+    )

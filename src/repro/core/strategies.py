@@ -16,6 +16,7 @@ actual simulated activity, not assumptions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -78,6 +79,9 @@ class NCLResult:
     epoch_costs: list[EpochCost]
     prepare_cost: EpochCost
     network: "SpikingNetwork | None" = None
+    #: Directory of the on-disk replay store when the run used the
+    #: store-backed path (``replay_store_dir``); None for in-memory runs.
+    replay_store_path: str | None = None
 
     def summary(self) -> str:
         return (
@@ -137,8 +141,22 @@ class NCLMethod:
         self,
         pretrained: SpikingNetwork,
         split: ClassIncrementalSplit,
+        replay_store_dir: str | Path | None = None,
+        store_shard_samples: int | None = None,
     ) -> NCLResult:
-        """Execute the full NCL phase; the pre-trained network is not mutated."""
+        """Execute the full NCL phase; the pre-trained network is not mutated.
+
+        ``replay_store_dir`` switches the replay buffer to the
+        store-backed path: the generated latent data is persisted as a
+        sharded :class:`~repro.replaystore.store.ReplayStore` at that
+        directory, the dense buffer is released, and training pulls
+        replay minibatches through a lazy
+        :class:`~repro.replaystore.stream.ReplayStream` (shard-at-a-time
+        decode).  The training trajectory is bitwise-identical to the
+        in-memory path at the same seed — shard codecs are lossless and
+        the minibatch order is unchanged — while peak resident replay
+        memory stays bounded by ``store_shard_samples`` decoded samples.
+        """
         config = self.config
         network = pretrained.clone()
         insertion = self.insertion_layer()
@@ -176,10 +194,37 @@ class NCLMethod:
         new_activations = network.activations_at(insertion, new_inputs)
         new_labels = split.new_train.labels
 
+        latent_bytes = 0
+        latent_frames = 0
+        decompressed_cells = 0
+        store_path: str | None = None
         if buffer is not None:
-            replay_raster = buffer.materialize(decompress=self.decompress_for_replay())
-            train_inputs = np.concatenate([new_activations, replay_raster], axis=1)
-            train_labels = np.concatenate([new_labels, buffer.labels])
+            latent_bytes = buffer.storage_bytes()
+            latent_frames = buffer.stored_frames
+            decompressed_cells = buffer.decompressed_cells_per_replay(
+                self.decompress_for_replay()
+            )
+            if replay_store_dir is not None:
+                from repro.replaystore.stream import ConcatReplaySource, ReplayStream
+
+                store = buffer.to_store(
+                    replay_store_dir, shard_samples=store_shard_samples
+                )
+                train_labels = np.concatenate([new_labels, store.labels])
+                buffer = None  # replay now lives on disk, not in memory
+                stream = ReplayStream(
+                    store, decompress=self.decompress_for_replay()
+                )
+                train_inputs = ConcatReplaySource(new_activations, stream)
+                store_path = str(store.root)
+            else:
+                replay_raster = buffer.materialize(
+                    decompress=self.decompress_for_replay()
+                )
+                train_inputs = np.concatenate(
+                    [new_activations, replay_raster], axis=1
+                )
+                train_labels = np.concatenate([new_labels, buffer.labels])
         else:
             train_inputs = new_activations
             train_labels = new_labels
@@ -236,7 +281,7 @@ class NCLMethod:
         )
 
         epoch_costs = self._collect_epoch_costs(
-            trainer, network, insertion, new_inputs, buffer, timesteps
+            trainer, network, insertion, new_inputs, decompressed_cells, timesteps
         )
 
         final = history.final()
@@ -248,11 +293,12 @@ class NCLMethod:
             final_old_accuracy=final.old_task_accuracy,
             final_new_accuracy=final.new_task_accuracy,
             final_overall_accuracy=final.overall_accuracy,
-            latent_storage_bytes=buffer.storage_bytes() if buffer else 0,
-            latent_stored_frames=buffer.stored_frames if buffer else 0,
+            latent_storage_bytes=latent_bytes,
+            latent_stored_frames=latent_frames,
             epoch_costs=epoch_costs,
             prepare_cost=prepare_cost,
             network=network,
+            replay_store_path=store_path,
         )
 
     # ------------------------------------------------------------------
@@ -302,7 +348,7 @@ class NCLMethod:
         network: SpikingNetwork,
         insertion: int,
         new_inputs: np.ndarray,
-        buffer: LatentReplayBuffer | None,
+        cells: int,
         timesteps: int,
     ) -> list[EpochCost]:
         """Assemble per-epoch cost inputs from the trainer's traces.
@@ -310,14 +356,11 @@ class NCLMethod:
         Alg. 1 recomputes the frozen part on current data every epoch
         (line 23) and SpikingLR decompresses the latent buffer per epoch;
         both are charged here even though the implementation caches the
-        results (the values are identical every epoch).
+        results (the values are identical every epoch).  ``cells`` is the
+        per-replay decompression volume, captured before a store-backed
+        run releases its dense buffer.
         """
         frozen = self._frozen_trace(network, insertion, new_inputs)
-        cells = (
-            buffer.decompressed_cells_per_replay(self.decompress_for_replay())
-            if buffer
-            else 0
-        )
         costs = []
         for traces in trainer.epoch_traces:
             costs.append(

@@ -1,4 +1,4 @@
-"""Minibatch iteration over dense spike rasters."""
+"""Minibatch iteration over dense spike rasters and lazy batch sources."""
 
 from __future__ import annotations
 
@@ -18,7 +18,12 @@ class DataLoader:
     ----------
     inputs:
         ``[T, N, C]`` dense rasters (or ``[T, N, C_latent]`` latent
-        activations — the loader is agnostic).
+        activations — the loader is agnostic), **or** a lazy batch
+        source: any object with a 3-tuple ``.shape`` and a
+        ``.gather(indices) -> [T, k, C]`` method (e.g.
+        :class:`~repro.replaystore.stream.ConcatReplaySource`).  Lazy
+        sources let replay data stay on disk; the loader materialises
+        only one minibatch at a time.
     labels:
         ``[N]`` integer labels.
     batch_size:
@@ -29,19 +34,22 @@ class DataLoader:
 
     def __init__(
         self,
-        inputs: np.ndarray,
+        inputs,
         labels: np.ndarray,
         batch_size: int,
         shuffle: bool = True,
         rng: np.random.Generator | None = None,
     ):
-        inputs = np.asarray(inputs)
+        self._lazy = not isinstance(inputs, np.ndarray) and hasattr(inputs, "gather")
+        if not self._lazy:
+            inputs = np.asarray(inputs)
+        shape = tuple(inputs.shape)
         labels = np.asarray(labels)
-        if inputs.ndim != 3:
-            raise DataError(f"inputs must be [T, N, C], got shape {inputs.shape}")
-        if labels.ndim != 1 or labels.shape[0] != inputs.shape[1]:
+        if len(shape) != 3:
+            raise DataError(f"inputs must be [T, N, C], got shape {shape}")
+        if labels.ndim != 1 or labels.shape[0] != shape[1]:
             raise DataError(
-                f"labels shape {labels.shape} incompatible with inputs {inputs.shape}"
+                f"labels shape {labels.shape} incompatible with inputs {shape}"
             )
         if batch_size <= 0:
             raise DataError(f"batch_size must be positive, got {batch_size}")
@@ -50,10 +58,11 @@ class DataLoader:
         self.batch_size = int(batch_size)
         self.shuffle = bool(shuffle)
         self.rng = rng or np.random.default_rng()
+        self._num_samples = int(shape[1])
 
     @property
     def num_samples(self) -> int:
-        return self.inputs.shape[1]
+        return self._num_samples
 
     def __len__(self) -> int:
         """Number of minibatches per epoch."""
@@ -65,4 +74,7 @@ class DataLoader:
             self.rng.shuffle(order)
         for start in range(0, self.num_samples, self.batch_size):
             batch = order[start : start + self.batch_size]
-            yield self.inputs[:, batch, :], self.labels[batch]
+            if self._lazy:
+                yield self.inputs.gather(batch), self.labels[batch]
+            else:
+                yield self.inputs[:, batch, :], self.labels[batch]

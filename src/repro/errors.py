@@ -37,6 +37,10 @@ class DataError(ReproError):
     """Dataset construction or loading failed."""
 
 
+class StoreError(ReproError):
+    """A replay-store shard, index, or budget operation is invalid."""
+
+
 class SplitError(ReproError):
     """A network split (frozen/learning) request is invalid."""
 

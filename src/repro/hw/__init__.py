@@ -19,12 +19,19 @@ Models
 - :class:`LatencyModel` / :class:`EnergyModel` — per-epoch and per-run
   costs from :class:`~repro.core.strategies.EpochCost` ledgers.
 - :func:`latent_memory_bytes` — the storage model behind Fig. 12.
+- :func:`audit_store` — cross-check of that model against the actual
+  shard bytes of an on-disk :mod:`repro.replaystore` store.
 - :class:`CostReport` — normalized method-vs-method tables.
 """
 
 from repro.hw.energy import EnergyModel
 from repro.hw.latency import LatencyModel
-from repro.hw.memory import latent_memory_bytes, LatentMemoryModel
+from repro.hw.memory import (
+    latent_memory_bytes,
+    audit_store,
+    LatentMemoryModel,
+    StoreAudit,
+)
 from repro.hw.ops_counter import OpCounts, OpsCounter
 from repro.hw.profiles import (
     HardwareProfile,
@@ -49,6 +56,8 @@ __all__ = [
     "EnergyModel",
     "latent_memory_bytes",
     "LatentMemoryModel",
+    "StoreAudit",
+    "audit_store",
     "CostReport",
     "MethodCost",
     "build_cost_report",

@@ -15,7 +15,7 @@ from repro.compression.bitpack import BitpackCodec
 from repro.core.latent_replay import HEADER_BYTES_PER_SAMPLE, LatentReplayBuffer
 from repro.errors import ConfigError
 
-__all__ = ["latent_memory_bytes", "LatentMemoryModel"]
+__all__ = ["latent_memory_bytes", "LatentMemoryModel", "StoreAudit", "audit_store"]
 
 
 def latent_memory_bytes(
@@ -34,10 +34,68 @@ def latent_memory_bytes(
 
 
 @dataclass(frozen=True)
+class StoreAudit:
+    """Analytic model vs. measured bytes of one on-disk replay store.
+
+    ``modelled_bytes`` is the Fig. 12 storage model applied to the
+    store's geometry (bit-packed payload + per-sample headers);
+    ``payload_bytes`` is what the per-shard codecs actually encoded
+    (never larger than the bitmap, since the denser codec is chosen per
+    shard); ``disk_bytes`` is the real on-disk total including shard
+    headers and the index.
+    """
+
+    modelled_bytes: int
+    payload_bytes: int
+    disk_bytes: int
+    num_shards: int
+    num_samples: int
+
+    @property
+    def payload_saving(self) -> float:
+        """Fractional saving of the codec payload vs the analytic model."""
+        return 1.0 - self.payload_bytes / self.modelled_bytes
+
+    @property
+    def format_overhead_bytes(self) -> int:
+        """Index + shard-header bytes on top of the raw codec payload."""
+        return self.disk_bytes - self.payload_bytes
+
+
+def audit_store(store, header_bytes: int = HEADER_BYTES_PER_SAMPLE) -> StoreAudit:
+    """Cross-check the analytic latent-memory model against a real store.
+
+    This is the accounting bridge the ``repro store stats`` CLI and the
+    store tests use: if the model and the shard files ever diverge
+    beyond codec choice + format overhead, either the storage model or
+    the store format has drifted.
+    """
+    if store.num_samples == 0:
+        raise ConfigError(f"store at {store.root} holds no samples to audit")
+    modelled = latent_memory_bytes(
+        store.meta.stored_frames,
+        store.num_samples,
+        store.meta.num_channels,
+        header_bytes,
+    )
+    return StoreAudit(
+        modelled_bytes=modelled,
+        payload_bytes=store.payload_bytes(),
+        disk_bytes=store.disk_bytes(),
+        num_shards=store.num_shards,
+        num_samples=store.num_samples,
+    )
+
+
+@dataclass(frozen=True)
 class LatentMemoryModel:
     """Comparative latent-memory accounting across methods/layers."""
 
     header_bytes: int = HEADER_BYTES_PER_SAMPLE
+
+    def audit_store(self, store) -> StoreAudit:
+        """Model-vs-disk audit of a replay store (see :func:`audit_store`)."""
+        return audit_store(store, self.header_bytes)
 
     def buffer_bytes(self, buffer: LatentReplayBuffer) -> int:
         return latent_memory_bytes(

@@ -1,0 +1,155 @@
+"""Byte-budgeted streaming construction of a replay store.
+
+The builder accepts task arrivals chunk by chunk (``offer``), keeps at
+most ``budget_bytes`` worth of samples under an
+:class:`~repro.replaystore.policies.EvictionPolicy`, and materialises
+the survivors as a :class:`~repro.replaystore.store.ReplayStore` on
+``finalize``.  Samples are held *bit-packed* between arrival and
+finalize, so the builder's resident memory tracks the byte budget — not
+the stream length — which is the whole point of building replay memory
+for embedded targets.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.compression.bitpack import BitpackCodec
+from repro.errors import StoreError
+from repro.replaystore.policies import EvictionPolicy
+from repro.replaystore.store import DEFAULT_SHARD_SAMPLES, ReplayStore
+
+__all__ = ["StreamingStoreBuilder", "SAMPLE_HEADER_BYTES"]
+
+#: Per-sample metadata charge (label + shape bookkeeping) of the Fig. 12
+#: storage model.  This is the single authority: ``core/latent_replay.py``
+#: re-exports it as ``HEADER_BYTES_PER_SAMPLE``, so the builder's byte
+#: budget and the analytic latent-memory model can never diverge.
+SAMPLE_HEADER_BYTES = 8
+
+
+class StreamingStoreBuilder:
+    """Build a budgeted replay store from streaming ``[T, n, C]`` chunks."""
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        policy: EvictionPolicy,
+        *,
+        stored_frames: int,
+        num_channels: int,
+        generated_timesteps: int,
+        insertion_layer: int = 0,
+        codec_factor: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        if budget_bytes <= 0:
+            raise StoreError(f"budget_bytes must be positive, got {budget_bytes}")
+        self._codec = BitpackCodec()
+        self.sample_bytes = (
+            self._codec.packed_bytes((stored_frames, num_channels))
+            + SAMPLE_HEADER_BYTES
+        )
+        self.capacity = budget_bytes // self.sample_bytes
+        if self.capacity < 1:
+            raise StoreError(
+                f"budget of {budget_bytes} B holds no sample "
+                f"({self.sample_bytes} B each)"
+            )
+        self.budget_bytes = int(budget_bytes)
+        self.policy = policy
+        self.policy.reset()
+        self.stored_frames = int(stored_frames)
+        self.num_channels = int(num_channels)
+        self.generated_timesteps = int(generated_timesteps)
+        self.insertion_layer = int(insertion_layer)
+        self.codec_factor = int(codec_factor)
+        self.rng = rng or np.random.default_rng()
+        #: Kept set: per-slot (packed sample, label) — packed, so the
+        #: builder's memory is ~budget_bytes irrespective of stream size.
+        self._kept: list[tuple[np.ndarray, int]] = []
+        self.seen = 0
+        self.rejected = 0
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def kept_labels(self) -> list[int]:
+        return [label for _, label in self._kept]
+
+    @property
+    def kept_bytes(self) -> int:
+        """Current packed footprint of the kept set (headers included)."""
+        return len(self._kept) * self.sample_bytes
+
+    def offer(self, raster: np.ndarray, labels: np.ndarray) -> int:
+        """Stream in a ``[T, n, C]`` chunk; returns how many were admitted."""
+        raster = np.asarray(raster)
+        labels = np.asarray(labels)
+        if raster.ndim != 3:
+            raise StoreError(f"offer expects [T, n, C], got shape {raster.shape}")
+        if raster.shape[0] != self.stored_frames:
+            raise StoreError(
+                f"chunk has {raster.shape[0]} frames, builder holds "
+                f"{self.stored_frames}"
+            )
+        if raster.shape[2] != self.num_channels:
+            raise StoreError(
+                f"chunk has {raster.shape[2]} channels, builder holds "
+                f"{self.num_channels}"
+            )
+        if labels.ndim != 1 or labels.shape[0] != raster.shape[1]:
+            raise StoreError(
+                f"{labels.shape} labels incompatible with chunk {raster.shape}"
+            )
+        admitted = 0
+        kept_labels = self.kept_labels
+        for i in range(raster.shape[1]):
+            self.seen += 1
+            label = int(labels[i])
+            slot = self.policy.admit(label, kept_labels, self.capacity, self.rng)
+            if slot is None:
+                self.rejected += 1
+                continue
+            packed, _ = self._codec.compress(raster[:, i, :])
+            if slot == len(self._kept):
+                self._kept.append((packed, label))
+                kept_labels.append(label)
+            else:
+                self.evicted += 1
+                self._kept[slot] = (packed, label)
+                kept_labels[slot] = label
+            admitted += 1
+        return admitted
+
+    # ------------------------------------------------------------------
+    def finalize(
+        self,
+        root: str | Path,
+        shard_samples: int = DEFAULT_SHARD_SAMPLES,
+        overwrite: bool = False,
+    ) -> ReplayStore:
+        """Write the kept set to ``root`` as a shard-chunked store."""
+        if not self._kept:
+            raise StoreError("no samples admitted; cannot finalize an empty store")
+        store = ReplayStore.create(
+            root,
+            stored_frames=self.stored_frames,
+            num_channels=self.num_channels,
+            generated_timesteps=self.generated_timesteps,
+            insertion_layer=self.insertion_layer,
+            codec_factor=self.codec_factor,
+            shard_samples=shard_samples,
+            overwrite=overwrite,
+        )
+        shape = (self.stored_frames, self.num_channels)
+        for start in range(0, len(self._kept), shard_samples):
+            chunk = self._kept[start : start + shard_samples]
+            raster = np.stack(
+                [self._codec.decompress(packed, shape) for packed, _ in chunk],
+                axis=1,
+            )
+            store.append(raster, np.array([label for _, label in chunk]))
+        return store

@@ -1,0 +1,410 @@
+"""The chunked, file-backed replay store.
+
+A store is a directory::
+
+    store/
+      index.json        # metadata + shard table (labels, sizes, offsets)
+      shard-00000.bin   # one encoded shard per file (format.py)
+      shard-00001.bin
+      ...
+
+The index is the lookup authority: it carries per-shard sample counts,
+labels, codec choice, and payload byte offsets, so listing, budgeting
+and class statistics never touch shard payloads.  Shard files are only
+read when their samples are actually replayed (see ``stream.py``).
+
+Shards are immutable once written; mutation happens by appending new
+shards or by :meth:`ReplayStore.compact`, which rewrites the shard set
+at uniform occupancy (after evictions leave ragged shards behind).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.replaystore.format import decode_shard, encode_shard, peek_header
+
+__all__ = ["StoreMeta", "ShardInfo", "StoreStats", "ReplayStore", "INDEX_NAME"]
+
+INDEX_NAME = "index.json"
+INDEX_VERSION = 1
+
+#: Default samples per shard; also the replay-time decode granularity
+#: (peak resident replay memory is ~``shard_samples`` dense samples).
+DEFAULT_SHARD_SAMPLES = 64
+
+
+@dataclass(frozen=True)
+class StoreMeta:
+    """Geometry and provenance of the stored latent data."""
+
+    stored_frames: int
+    num_channels: int
+    generated_timesteps: int
+    insertion_layer: int = 0
+    codec_factor: int = 1
+    shard_samples: int = DEFAULT_SHARD_SAMPLES
+
+    def __post_init__(self):
+        if self.stored_frames <= 0 or self.num_channels <= 0:
+            raise StoreError(
+                f"store geometry must be positive, got T={self.stored_frames} "
+                f"C={self.num_channels}"
+            )
+        if self.generated_timesteps <= 0:
+            raise StoreError(
+                f"generated_timesteps must be positive, got {self.generated_timesteps}"
+            )
+        if self.codec_factor < 1:
+            raise StoreError(f"codec_factor must be >= 1, got {self.codec_factor}")
+        if self.shard_samples <= 0:
+            raise StoreError(f"shard_samples must be positive, got {self.shard_samples}")
+
+
+@dataclass
+class ShardInfo:
+    """One row of the index's shard table."""
+
+    file: str
+    num_samples: int
+    codec: str
+    payload_bytes: int
+    payload_offset: int
+    labels: list[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate view of a store (the ``repro store stats`` payload)."""
+
+    num_shards: int
+    num_samples: int
+    stored_frames: int
+    num_channels: int
+    codec_shards: dict[str, int]
+    payload_bytes: int
+    disk_bytes: int
+    class_counts: dict[int, int]
+
+    @property
+    def bytes_per_sample(self) -> float:
+        return self.payload_bytes / self.num_samples if self.num_samples else 0.0
+
+
+class ReplayStore:
+    """Persistent shard set + index over one latent-replay buffer."""
+
+    def __init__(
+        self,
+        root: Path,
+        meta: StoreMeta,
+        shards: list[ShardInfo],
+        generation: int = 0,
+    ):
+        self.root = Path(root)
+        self.meta = meta
+        self.shards = shards
+        #: Bumped by :meth:`compact`; compacted shard files carry the
+        #: generation in their name so a rewrite never collides with the
+        #: files the current index still points at.
+        self.generation = int(generation)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        *,
+        stored_frames: int,
+        num_channels: int,
+        generated_timesteps: int,
+        insertion_layer: int = 0,
+        codec_factor: int = 1,
+        shard_samples: int = DEFAULT_SHARD_SAMPLES,
+        overwrite: bool = False,
+    ) -> "ReplayStore":
+        """Initialise an empty store directory (refuses to clobber one)."""
+        root = Path(root)
+        index_path = root / INDEX_NAME
+        if index_path.exists() and not overwrite:
+            raise StoreError(
+                f"store already exists at {root} (pass overwrite=True to replace)"
+            )
+        root.mkdir(parents=True, exist_ok=True)
+        if overwrite:
+            for old in root.glob("shard-*.bin"):
+                old.unlink()
+        meta = StoreMeta(
+            stored_frames=stored_frames,
+            num_channels=num_channels,
+            generated_timesteps=generated_timesteps,
+            insertion_layer=insertion_layer,
+            codec_factor=codec_factor,
+            shard_samples=shard_samples,
+        )
+        store = cls(root, meta, [])
+        store._write_index()
+        return store
+
+    @classmethod
+    def open(cls, root: str | Path) -> "ReplayStore":
+        """Load an existing store from its index."""
+        root = Path(root)
+        index_path = root / INDEX_NAME
+        if not index_path.exists():
+            raise StoreError(f"no replay store at {root} (missing {INDEX_NAME})")
+        try:
+            payload = json.loads(index_path.read_text())
+        except json.JSONDecodeError as error:
+            raise StoreError(f"corrupt store index at {index_path}: {error}") from error
+        if payload.get("version") != INDEX_VERSION:
+            raise StoreError(
+                f"unsupported store index version {payload.get('version')!r}"
+            )
+        try:
+            meta = StoreMeta(**payload["meta"])
+            shards = [ShardInfo(**entry) for entry in payload["shards"]]
+        except (KeyError, TypeError) as error:
+            raise StoreError(
+                f"malformed store index at {index_path}: {error}"
+            ) from error
+        return cls(root, meta, shards, generation=int(payload.get("generation", 0)))
+
+    def _write_index(self) -> None:
+        """Atomically replace the index (write-to-temp + rename)."""
+        payload = {
+            "version": INDEX_VERSION,
+            "generation": self.generation,
+            "meta": {
+                "stored_frames": self.meta.stored_frames,
+                "num_channels": self.meta.num_channels,
+                "generated_timesteps": self.meta.generated_timesteps,
+                "insertion_layer": self.meta.insertion_layer,
+                "codec_factor": self.meta.codec_factor,
+                "shard_samples": self.meta.shard_samples,
+            },
+            "shards": [
+                {
+                    "file": s.file,
+                    "num_samples": s.num_samples,
+                    "codec": s.codec,
+                    "payload_bytes": s.payload_bytes,
+                    "payload_offset": s.payload_offset,
+                    "labels": list(map(int, s.labels)),
+                }
+                for s in self.shards
+            ],
+        }
+        staging = self.root / (INDEX_NAME + ".tmp")
+        staging.write_text(json.dumps(payload, indent=1) + "\n")
+        staging.replace(self.root / INDEX_NAME)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_samples(self) -> int:
+        return sum(s.num_samples for s in self.shards)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """All labels in storage order (index-only, no shard reads)."""
+        if not self.shards:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(
+            [np.asarray(s.labels, dtype=np.int64) for s in self.shards]
+        )
+
+    def payload_bytes(self) -> int:
+        """Codec payload bytes across all shards (index accounting)."""
+        return sum(s.payload_bytes for s in self.shards)
+
+    def disk_bytes(self) -> int:
+        """Actual bytes on disk: shard files plus the index itself."""
+        total = (self.root / INDEX_NAME).stat().st_size
+        for shard in self.shards:
+            total += (self.root / shard.file).stat().st_size
+        return total
+
+    def stats(self) -> StoreStats:
+        codec_shards: dict[str, int] = {}
+        class_counts: dict[int, int] = {}
+        for shard in self.shards:
+            codec_shards[shard.codec] = codec_shards.get(shard.codec, 0) + 1
+            for label in shard.labels:
+                class_counts[int(label)] = class_counts.get(int(label), 0) + 1
+        return StoreStats(
+            num_shards=self.num_shards,
+            num_samples=self.num_samples,
+            stored_frames=self.meta.stored_frames,
+            num_channels=self.meta.num_channels,
+            codec_shards=codec_shards,
+            payload_bytes=self.payload_bytes(),
+            disk_bytes=self.disk_bytes(),
+            class_counts=dict(sorted(class_counts.items())),
+        )
+
+    # ------------------------------------------------------------------
+    # Shard I/O
+    # ------------------------------------------------------------------
+    def append(self, raster: np.ndarray, labels: np.ndarray) -> list[int]:
+        """Persist ``[T_stored, n, C]`` samples as one or more new shards.
+
+        The raster is split into chunks of ``meta.shard_samples`` columns;
+        each chunk becomes an immutable shard file.  Returns the new shard
+        ids.
+        """
+        raster = np.asarray(raster)
+        labels = np.asarray(labels)
+        if raster.ndim != 3:
+            raise StoreError(f"append expects [T, n, C], got shape {raster.shape}")
+        if raster.shape[0] != self.meta.stored_frames:
+            raise StoreError(
+                f"raster has {raster.shape[0]} frames, store holds "
+                f"{self.meta.stored_frames}"
+            )
+        if raster.shape[2] != self.meta.num_channels:
+            raise StoreError(
+                f"raster has {raster.shape[2]} channels, store holds "
+                f"{self.meta.num_channels}"
+            )
+        if labels.ndim != 1 or labels.shape[0] != raster.shape[1]:
+            raise StoreError(
+                f"{labels.shape} labels incompatible with raster {raster.shape}"
+            )
+        new_ids: list[int] = []
+        for start in range(0, raster.shape[1], self.meta.shard_samples):
+            chunk = raster[:, start : start + self.meta.shard_samples, :]
+            chunk_labels = labels[start : start + self.meta.shard_samples]
+            new_ids.append(self._write_shard(chunk, chunk_labels))
+        self._write_index()
+        return new_ids
+
+    def _write_shard(self, raster: np.ndarray, labels: np.ndarray) -> int:
+        shard_id = len(self.shards)
+        blob = encode_shard(raster, labels)
+        header = peek_header(blob)
+        name = f"shard-{shard_id:05d}.bin"
+        (self.root / name).write_bytes(blob)
+        self.shards.append(
+            ShardInfo(
+                file=name,
+                num_samples=header.num_samples,
+                codec=header.codec,
+                payload_bytes=header.payload_bytes,
+                payload_offset=len(blob) - header.payload_bytes,
+                labels=[int(v) for v in labels],
+            )
+        )
+        return shard_id
+
+    def read_shard(self, shard_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """Decode one shard to its dense ``[T_stored, n, C]`` raster."""
+        if not 0 <= shard_id < len(self.shards):
+            raise StoreError(
+                f"shard {shard_id} out of range (store has {len(self.shards)})"
+            )
+        info = self.shards[shard_id]
+        path = self.root / info.file
+        if not path.exists():
+            raise StoreError(f"shard file missing: {path}")
+        raster, labels = decode_shard(path.read_bytes())
+        if raster.shape[1] != info.num_samples or not np.array_equal(
+            labels, np.asarray(info.labels, dtype=np.int64)
+        ):
+            raise StoreError(f"shard {shard_id} disagrees with the index")
+        return raster, labels
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def compact(self, shard_samples: int | None = None) -> int:
+        """Rewrite all shards at uniform occupancy; returns the new count.
+
+        Used after budget evictions leave ragged shards, or to retarget
+        the decode granularity.  Streams shard-by-shard, so peak memory
+        stays at ~2 shards regardless of store size.
+
+        Crash-safe: the new generation's shard files are written under
+        names the current index never references, the atomic index
+        rename is the commit point, and only then are the old
+        generation's files removed.  A crash anywhere leaves a store
+        that opens cleanly (at worst with orphaned files from the
+        interrupted generation).
+        """
+        if shard_samples is not None and shard_samples <= 0:
+            raise StoreError(f"shard_samples must be positive, got {shard_samples}")
+        target = shard_samples or self.meta.shard_samples
+        old_files = [self.root / s.file for s in self.shards]
+        generation = self.generation + 1
+
+        staged: list[ShardInfo] = []
+        pending_raster: list[np.ndarray] = []
+        pending_labels: list[np.ndarray] = []
+        pending = 0
+
+        def flush(force: bool) -> None:
+            nonlocal pending
+            while pending >= target or (force and pending > 0):
+                raster = np.concatenate(pending_raster, axis=1)
+                labels = np.concatenate(pending_labels)
+                take = min(target, raster.shape[1])
+                blob = encode_shard(raster[:, :take, :], labels[:take])
+                header = peek_header(blob)
+                name = f"shard-g{generation:03d}-{len(staged):05d}.bin"
+                (self.root / name).write_bytes(blob)
+                staged.append(
+                    ShardInfo(
+                        file=name,
+                        num_samples=header.num_samples,
+                        codec=header.codec,
+                        payload_bytes=header.payload_bytes,
+                        payload_offset=len(blob) - header.payload_bytes,
+                        labels=[int(v) for v in labels[:take]],
+                    )
+                )
+                pending_raster[:] = (
+                    [raster[:, take:, :]] if take < raster.shape[1] else []
+                )
+                pending_labels[:] = [labels[take:]] if take < labels.shape[0] else []
+                pending -= take
+
+        for shard_id in range(len(self.shards)):
+            raster, labels = self.read_shard(shard_id)
+            pending_raster.append(raster)
+            pending_labels.append(labels)
+            pending += raster.shape[1]
+            flush(force=False)
+        flush(force=True)
+
+        self.shards = staged
+        self.generation = generation
+        self.meta = StoreMeta(
+            stored_frames=self.meta.stored_frames,
+            num_channels=self.meta.num_channels,
+            generated_timesteps=self.meta.generated_timesteps,
+            insertion_layer=self.meta.insertion_layer,
+            codec_factor=self.meta.codec_factor,
+            shard_samples=target,
+        )
+        self._write_index()  # atomic rename: the commit point
+        for path in old_files:
+            path.unlink(missing_ok=True)
+        return len(self.shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplayStore(root={str(self.root)!r}, shards={self.num_shards}, "
+            f"samples={self.num_samples})"
+        )

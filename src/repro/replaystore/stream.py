@@ -1,0 +1,216 @@
+"""Lazy, shard-granular replay iteration.
+
+:class:`ReplayStream` is the replay-time view of a
+:class:`~repro.replaystore.store.ReplayStore`: it decodes shards on
+demand (with a small LRU cache) and serves arbitrary sample subsets via
+``gather`` — the protocol :class:`~repro.data.loaders.DataLoader` uses
+for lazy sources.  Peak resident replay memory is therefore
+``cache_shards`` decoded shards, never the full buffer.
+
+:class:`ConcatReplaySource` splices dense new-task activations together
+with a stream along the sample axis, so an NCL trainer sees one
+``[T, N_new + N_replay, C]`` source whose batches are bit-for-bit what
+``np.concatenate`` + fancy indexing would have produced — that identity
+is what makes the store-backed training path reproduce the in-memory
+path exactly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.compression.subsample import TemporalSubsampleCodec
+from repro.errors import StoreError
+from repro.replaystore.store import ReplayStore
+
+__all__ = ["ReplayStream", "ConcatReplaySource"]
+
+
+class ReplayStream:
+    """On-demand decoded view over a store's samples.
+
+    Parameters
+    ----------
+    store:
+        The backing shard set.
+    decompress:
+        Mirror of :meth:`LatentReplayBuffer.materialize`'s flag:
+        ``True`` zero-stuffs each shard back to
+        ``meta.generated_timesteps`` (the SpikingLR cycle); ``False``
+        serves stored frames directly (requires codec factor 1).
+    cache_shards:
+        Decoded shards held in the LRU cache — the replay-time memory
+        bound, in units of one dense shard.
+    """
+
+    def __init__(
+        self, store: ReplayStore, decompress: bool = False, cache_shards: int = 2
+    ):
+        if cache_shards < 1:
+            raise StoreError(f"cache_shards must be >= 1, got {cache_shards}")
+        if not decompress and store.meta.codec_factor != 1:
+            raise StoreError(
+                "cannot stream subsampled frames without decompression: "
+                f"store codec factor is {store.meta.codec_factor}"
+            )
+        self.store = store
+        self.decompress = bool(decompress)
+        self.cache_shards = int(cache_shards)
+        self._codec = TemporalSubsampleCodec(store.meta.codec_factor)
+        self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        self.shard_decodes = 0
+        # Snapshot of the shard table at construction: the stream's
+        # index->shard mapping and decode cache are only valid against
+        # this exact table, so a mutated store must fail loudly rather
+        # than serve stale or misrouted samples.
+        self._signature = [(s.file, s.num_samples) for s in store.shards]
+        self._num_samples = store.num_samples
+        # Sample index -> (shard, column) without touching payloads.
+        bounds = np.cumsum([n for _, n in self._signature])
+        self._bounds = np.concatenate([[0], bounds]).astype(np.int64)
+
+    def _check_not_stale(self) -> None:
+        current = [(s.file, s.num_samples) for s in self.store.shards]
+        if current != self._signature:
+            raise StoreError(
+                "store was mutated (append/compact) after this ReplayStream "
+                "was created; open a fresh stream"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        return self._num_samples
+
+    @property
+    def timesteps(self) -> int:
+        """Frames per served sample (post-decompression if enabled)."""
+        if self.decompress:
+            return self.store.meta.generated_timesteps
+        return self.store.meta.stored_frames
+
+    @property
+    def num_channels(self) -> int:
+        return self.store.meta.num_channels
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.timesteps, self.num_samples, self.num_channels)
+
+    @property
+    def labels(self) -> np.ndarray:
+        self._check_not_stale()
+        return self.store.labels
+
+    # ------------------------------------------------------------------
+    def _decoded(self, shard_id: int) -> np.ndarray:
+        """Decoded (and optionally decompressed) shard, via the LRU."""
+        if shard_id in self._cache:
+            self._cache.move_to_end(shard_id)
+            return self._cache[shard_id]
+        self._check_not_stale()
+        raster, _ = self.store.read_shard(shard_id)
+        if self.decompress:
+            raster = self._codec.decompress(
+                raster, self.store.meta.generated_timesteps
+            )
+        self.shard_decodes += 1
+        self._cache[shard_id] = raster
+        while len(self._cache) > self.cache_shards:
+            self._cache.popitem(last=False)
+        return raster
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Decode the requested samples into a ``[T, k, C]`` raster.
+
+        Output column ``j`` is sample ``indices[j]``; duplicate and
+        unsorted indices behave exactly like numpy fancy indexing on the
+        dense buffer.  Shards are decoded once per call each.
+        """
+        self._check_not_stale()
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise StoreError(f"indices must be 1-D, got shape {indices.shape}")
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self.num_samples
+        ):
+            raise StoreError(
+                f"indices out of range [0, {self.num_samples}) "
+                f"(got [{indices.min()}, {indices.max()}])"
+            )
+        out = np.empty(
+            (self.timesteps, indices.size, self.num_channels), dtype=np.float32
+        )
+        shard_of = np.searchsorted(self._bounds, indices, side="right") - 1
+        for shard_id in np.unique(shard_of):
+            raster = self._decoded(int(shard_id))
+            mask = shard_of == shard_id
+            cols = indices[mask] - self._bounds[shard_id]
+            out[:, mask, :] = raster[:, cols, :]
+        return out
+
+    def __iter__(self):
+        """Yield ``(raster, labels)`` shard by shard, in storage order."""
+        self._check_not_stale()
+        for shard_id in range(len(self._signature)):
+            raster = self._decoded(shard_id)
+            labels = np.asarray(self.store.shards[shard_id].labels, dtype=np.int64)
+            yield raster, labels
+
+    def materialize(self) -> np.ndarray:
+        """Densify the whole stream (tests/small stores only)."""
+        return self.gather(np.arange(self.num_samples))
+
+
+class ConcatReplaySource:
+    """Dense new-task activations + a lazy replay stream, sample-axis.
+
+    Quacks like the ``[T, N, C]`` array that
+    ``np.concatenate([dense, replay], axis=1)`` would build, but the
+    replay half stays on disk until a batch actually touches it.
+    """
+
+    def __init__(self, dense: np.ndarray, stream: ReplayStream):
+        dense = np.asarray(dense, dtype=np.float32)
+        if dense.ndim != 3:
+            raise StoreError(f"dense part must be [T, N, C], got {dense.shape}")
+        if dense.shape[0] != stream.timesteps:
+            raise StoreError(
+                f"dense part has {dense.shape[0]} frames, stream serves "
+                f"{stream.timesteps}"
+            )
+        if dense.shape[2] != stream.num_channels:
+            raise StoreError(
+                f"dense part has {dense.shape[2]} channels, stream serves "
+                f"{stream.num_channels}"
+            )
+        self.dense = dense
+        self.stream = stream
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (
+            self.dense.shape[0],
+            self.dense.shape[1] + self.stream.num_samples,
+            self.dense.shape[2],
+        )
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        split = self.dense.shape[1]
+        total = self.shape[1]
+        if indices.size and (indices.min() < 0 or indices.max() >= total):
+            raise StoreError(
+                f"indices out of range [0, {total}) "
+                f"(got [{indices.min()}, {indices.max()}])"
+            )
+        out = np.empty(
+            (self.shape[0], indices.size, self.shape[2]), dtype=np.float32
+        )
+        from_dense = indices < split
+        out[:, from_dense, :] = self.dense[:, indices[from_dense], :]
+        if np.any(~from_dense):
+            out[:, ~from_dense, :] = self.stream.gather(indices[~from_dense] - split)
+        return out

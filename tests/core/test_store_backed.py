@@ -1,0 +1,130 @@
+"""Store-backed NCL runs: disk-resident replay, bitwise-identical training.
+
+The acceptance bar for the replaystore subsystem: running a full NCL
+phase with the replay buffer on disk (``replay_store_dir``) must
+reproduce the in-memory path **exactly** — same losses, same accuracy
+curve, same final weights — because the shard codecs are lossless and
+the minibatch schedule is unchanged.  Peak resident replay memory is
+bounded by the shard size (asserted via the stream's decode cache).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Replay4NCL, SpikingLR, run_method
+from repro.core.latent_replay import LatentReplayBuffer
+from repro.hw.memory import audit_store
+from repro.replaystore import ReplayStore, ReplayStream
+
+
+def _assert_identical(in_memory, store_backed):
+    assert len(in_memory.history) == len(store_backed.history)
+    for mem, disk in zip(in_memory.history, store_backed.history):
+        assert mem.loss == disk.loss
+        assert mem.old_task_accuracy == disk.old_task_accuracy
+        assert mem.new_task_accuracy == disk.new_task_accuracy
+        assert mem.overall_accuracy == disk.overall_accuracy
+    assert in_memory.final_overall_accuracy == store_backed.final_overall_accuracy
+    for p_mem, p_disk in zip(
+        in_memory.network.parameters(), store_backed.network.parameters()
+    ):
+        np.testing.assert_array_equal(p_mem.data, p_disk.data)
+
+
+class TestBitwiseParity:
+    def test_replay4ncl(self, ci_pretrained, ci_split, ci_preset, tmp_path):
+        method = Replay4NCL(ci_preset.experiment)
+        in_memory = run_method(method, ci_pretrained, ci_split)
+        store_backed = run_method(
+            Replay4NCL(ci_preset.experiment),
+            ci_pretrained,
+            ci_split,
+            replay_store_dir=tmp_path / "store",
+            store_shard_samples=4,
+        )
+        _assert_identical(in_memory, store_backed)
+        assert store_backed.replay_store_path == str(tmp_path / "store")
+        assert in_memory.replay_store_path is None
+        # The storage model is path-independent.
+        assert store_backed.latent_storage_bytes == in_memory.latent_storage_bytes
+        assert store_backed.latent_stored_frames == in_memory.latent_stored_frames
+
+    def test_spikinglr_decompress_path(
+        self, ci_pretrained, ci_split, ci_preset, tmp_path
+    ):
+        # SpikingLR stores factor-2 subsampled frames and zero-stuffs on
+        # replay — the stream must reproduce that cycle exactly too.
+        in_memory = run_method(
+            SpikingLR(ci_preset.experiment), ci_pretrained, ci_split
+        )
+        store_backed = run_method(
+            SpikingLR(ci_preset.experiment),
+            ci_pretrained,
+            ci_split,
+            replay_store_dir=tmp_path / "store",
+        )
+        _assert_identical(in_memory, store_backed)
+
+    def test_epoch_costs_preserved(
+        self, ci_pretrained, ci_split, ci_preset, tmp_path
+    ):
+        # The cost model must charge the same decompression work whether
+        # the buffer is resident or store-backed.
+        mem = run_method(SpikingLR(ci_preset.experiment), ci_pretrained, ci_split)
+        disk = run_method(
+            SpikingLR(ci_preset.experiment),
+            ci_pretrained,
+            ci_split,
+            replay_store_dir=tmp_path / "store",
+        )
+        assert [c.decompressed_cells for c in mem.epoch_costs] == [
+            c.decompressed_cells for c in disk.epoch_costs
+        ]
+
+
+class TestStoreArtifacts:
+    @pytest.fixture(scope="class")
+    def store_run(self, ci_pretrained, ci_split, ci_preset, tmp_path_factory):
+        root = tmp_path_factory.mktemp("ncl-store") / "store"
+        result = run_method(
+            Replay4NCL(ci_preset.experiment),
+            ci_pretrained,
+            ci_split,
+            replay_store_dir=root,
+            store_shard_samples=4,
+        )
+        return result, ReplayStore.open(root)
+
+    def test_store_persisted(self, store_run):
+        result, store = store_run
+        assert store.num_samples > 0
+        assert store.meta.shard_samples == 4
+        assert all(s.num_samples <= 4 for s in store.shards)
+
+    def test_memory_model_crosschecks_disk(self, store_run):
+        result, store = store_run
+        audit = audit_store(store)
+        # Per-shard codec choice can only undercut the bitmap model;
+        # per-shard bit padding costs at most one byte per shard.
+        assert audit.payload_bytes <= (
+            result.latent_storage_bytes + audit.num_shards
+        )
+        assert audit.payload_saving >= 0.0
+        assert audit.disk_bytes > audit.payload_bytes
+        assert audit.modelled_bytes == result.latent_storage_bytes
+
+    def test_buffer_roundtrips_through_store(self, store_run):
+        _, store = store_run
+        buffer = LatentReplayBuffer.from_store(store)
+        assert buffer.num_samples == store.num_samples
+        np.testing.assert_array_equal(buffer.labels, store.labels)
+        store_view = ReplayStream(store).materialize()
+        np.testing.assert_array_equal(buffer.compressed, store_view)
+
+    def test_resident_memory_bounded_by_shard(self, store_run):
+        _, store = store_run
+        stream = ReplayStream(store, cache_shards=1)
+        stream.materialize()
+        # One decoded shard resident at a time, every shard visited.
+        assert len(stream._cache) == 1
+        assert stream.shard_decodes == store.num_shards

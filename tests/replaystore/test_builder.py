@@ -1,0 +1,109 @@
+"""Tests for the byte-budgeted streaming store builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.replaystore import (
+    ClassBalancedPolicy,
+    FIFOPolicy,
+    ReservoirPolicy,
+    ReplayStream,
+    StreamingStoreBuilder,
+)
+from repro.replaystore.builder import SAMPLE_HEADER_BYTES
+
+
+def _chunk(rng, n, frames=16, channels=10, num_classes=4):
+    raster = (rng.random((frames, n, channels)) < 0.2).astype(np.float32)
+    return raster, rng.integers(0, num_classes, n)
+
+
+def _builder(budget, policy, seed=0, **kwargs):
+    defaults = dict(
+        stored_frames=16, num_channels=10, generated_timesteps=16,
+        rng=np.random.default_rng(seed),
+    )
+    defaults.update(kwargs)
+    return StreamingStoreBuilder(budget, policy, **defaults)
+
+
+class TestBudget:
+    def test_capacity_from_budget(self):
+        builder = _builder(1000, FIFOPolicy())
+        # ceil(16*10/8) = 20 payload + 8 header = 28 B/sample.
+        assert builder.sample_bytes == 20 + SAMPLE_HEADER_BYTES
+        assert builder.capacity == 1000 // 28
+
+    def test_budget_never_exceeded(self):
+        builder = _builder(500, ReservoirPolicy())
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            builder.offer(*_chunk(rng, 13))
+        assert builder.kept_bytes <= 500
+        assert len(builder.kept_labels) == builder.capacity
+
+    def test_rejects_unusable_budget(self):
+        with pytest.raises(StoreError, match="holds no sample"):
+            _builder(10, FIFOPolicy())
+        with pytest.raises(StoreError, match="positive"):
+            _builder(0, FIFOPolicy())
+
+    def test_counters(self):
+        builder = _builder(500, FIFOPolicy())
+        rng = np.random.default_rng(2)
+        builder.offer(*_chunk(rng, 40))
+        assert builder.seen == 40
+        assert builder.rejected == 0  # FIFO admits everything
+        assert builder.evicted == 40 - builder.capacity
+
+
+class TestValidation:
+    def test_offer_geometry(self):
+        builder = _builder(1000, FIFOPolicy())
+        with pytest.raises(StoreError, match="frames"):
+            builder.offer(np.zeros((8, 2, 10), dtype=np.float32), np.zeros(2))
+        with pytest.raises(StoreError, match="channels"):
+            builder.offer(np.zeros((16, 2, 7), dtype=np.float32), np.zeros(2))
+        with pytest.raises(StoreError, match="labels"):
+            builder.offer(np.zeros((16, 2, 10), dtype=np.float32), np.zeros(5))
+
+    def test_finalize_empty(self, tmp_path):
+        with pytest.raises(StoreError, match="no samples"):
+            _builder(1000, FIFOPolicy()).finalize(tmp_path / "s")
+
+
+class TestFinalize:
+    def test_samples_roundtrip_to_store(self, tmp_path):
+        builder = _builder(10_000, FIFOPolicy())
+        rng = np.random.default_rng(3)
+        raster, labels = _chunk(rng, 30)
+        builder.offer(raster, labels)
+        store = builder.finalize(tmp_path / "s", shard_samples=8)
+        assert store.num_samples == 30
+        np.testing.assert_array_equal(store.labels, labels)
+        np.testing.assert_array_equal(ReplayStream(store).materialize(), raster)
+
+    def test_eviction_order_reflected(self, tmp_path):
+        builder = _builder(200, FIFOPolicy())  # capacity 7
+        rng = np.random.default_rng(4)
+        raster, _ = _chunk(rng, 12)
+        builder.offer(raster, np.arange(12))
+        store = builder.finalize(tmp_path / "s")
+        # FIFO wrapped: slots hold the 7 newest arrivals.
+        assert sorted(store.labels.tolist()) == list(range(5, 12))
+
+    def test_class_balanced_end_to_end(self, tmp_path):
+        builder = _builder(400, ClassBalancedPolicy(), seed=5)  # capacity 14
+        rng = np.random.default_rng(5)
+        frames, channels = 16, 10
+        skewed = (rng.random((frames, 60, channels)) < 0.2).astype(np.float32)
+        labels = np.array([0] * 50 + [1] * 10)
+        for start in range(0, 60, 15):
+            builder.offer(
+                skewed[:, start : start + 15, :], labels[start : start + 15]
+            )
+        store = builder.finalize(tmp_path / "s")
+        counts = store.stats().class_counts
+        assert counts[1] >= 5  # minority class held despite 5:1 skew
+        assert sum(counts.values()) == builder.capacity

@@ -1,0 +1,105 @@
+"""Deterministic unit tests for the admission/eviction policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.replaystore import (
+    ClassBalancedPolicy,
+    FIFOPolicy,
+    ReservoirPolicy,
+    get_policy,
+)
+
+
+def _drive(policy, labels, capacity, seed=0):
+    """Feed a label stream through a policy; return the kept labels."""
+    rng = np.random.default_rng(seed)
+    policy.reset()
+    kept: list[int] = []
+    for label in labels:
+        slot = policy.admit(int(label), kept, capacity, rng)
+        if slot is None:
+            continue
+        if slot == len(kept):
+            kept.append(int(label))
+        else:
+            kept[slot] = int(label)
+    return kept
+
+
+class TestFIFO:
+    def test_fills_then_evicts_oldest(self):
+        kept = _drive(FIFOPolicy(), range(10), capacity=4)
+        # Slots wrap: 8 replaced slot 0 (holding 0, the oldest), etc.
+        assert kept == [8, 9, 6, 7]
+
+    def test_under_capacity_keeps_everything(self):
+        assert _drive(FIFOPolicy(), [3, 1, 2], capacity=5) == [3, 1, 2]
+
+    def test_reset_restarts_pointer(self):
+        policy = FIFOPolicy()
+        _drive(policy, range(10), capacity=4)
+        assert _drive(policy, range(4), capacity=4) == [0, 1, 2, 3]
+
+
+class TestReservoir:
+    def test_uniform_over_stream(self):
+        # Every stream position should land in the reservoir with
+        # probability capacity/n; check the empirical rate over repeats.
+        hits = np.zeros(100)
+        for seed in range(300):
+            kept = _drive(ReservoirPolicy(), range(100), capacity=10, seed=seed)
+            hits[kept] += 1
+        rates = hits / 300
+        assert abs(rates.mean() - 0.1) < 0.01
+        # Early positions must not dominate late ones.
+        assert abs(rates[:50].mean() - rates[50:].mean()) < 0.04
+
+    def test_deterministic_given_seed(self):
+        a = _drive(ReservoirPolicy(), range(50), capacity=8, seed=7)
+        b = _drive(ReservoirPolicy(), range(50), capacity=8, seed=7)
+        assert a == b
+
+    def test_under_capacity_admits_all(self):
+        assert _drive(ReservoirPolicy(), [5, 6], capacity=4) == [5, 6]
+
+
+class TestClassBalanced:
+    def test_rebalances_skewed_stream(self):
+        # 30 samples of class 0 then 6 of class 1: a balanced buffer
+        # should end close to 50/50, not 90/10.
+        labels = [0] * 30 + [1] * 6
+        kept = _drive(ClassBalancedPolicy(), labels, capacity=8, seed=3)
+        counts = {c: kept.count(c) for c in set(kept)}
+        assert counts[1] >= 3
+        assert len(kept) == 8
+
+    def test_minority_class_never_evicted_by_majority(self):
+        # Once a rare class is in, further majority arrivals cannot push
+        # it out (they only ever displace the largest class).
+        labels = [0] * 4 + [1] + [0] * 40
+        kept = _drive(ClassBalancedPolicy(), labels, capacity=4, seed=0)
+        assert 1 in kept
+
+    def test_within_class_reservoir(self):
+        # Single class: behaves as a reservoir, stays at capacity.
+        kept = _drive(ClassBalancedPolicy(), [2] * 50, capacity=6, seed=1)
+        assert len(kept) == 6
+        assert set(kept) == {2}
+
+    def test_deterministic_given_seed(self):
+        labels = list(range(4)) * 10
+        a = _drive(ClassBalancedPolicy(), labels, capacity=6, seed=9)
+        b = _drive(ClassBalancedPolicy(), labels, capacity=6, seed=9)
+        assert a == b
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["fifo", "reservoir", "class-balanced"])
+    def test_get_policy(self, name):
+        assert get_policy(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(StoreError, match="unknown eviction policy"):
+            get_policy("lru")

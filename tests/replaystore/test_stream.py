@@ -1,0 +1,180 @@
+"""Tests for ReplayStream, ConcatReplaySource, and lazy DataLoader use."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import DataLoader
+from repro.errors import DataError, StoreError
+from repro.replaystore import ConcatReplaySource, ReplayStore, ReplayStream
+
+
+@pytest.fixture
+def raster():
+    rng = np.random.default_rng(42)
+    return (rng.random((12, 30, 9)) < 0.15).astype(np.float32)
+
+
+@pytest.fixture
+def store(tmp_path, raster):
+    store = ReplayStore.create(
+        tmp_path / "store",
+        stored_frames=12,
+        num_channels=9,
+        generated_timesteps=12,
+        shard_samples=7,
+    )
+    store.append(raster, np.arange(30) % 5)
+    return store
+
+
+@pytest.fixture
+def subsampled_store(tmp_path, raster):
+    # Factor-2 store: 12 stored frames expand to 24 on replay.
+    store = ReplayStore.create(
+        tmp_path / "sub",
+        stored_frames=12,
+        num_channels=9,
+        generated_timesteps=24,
+        codec_factor=2,
+        shard_samples=7,
+    )
+    store.append(raster, np.arange(30) % 5)
+    return store
+
+
+class TestReplayStream:
+    def test_gather_matches_dense_indexing(self, store, raster):
+        stream = ReplayStream(store)
+        idx = np.array([29, 0, 13, 13, 6])  # unsorted, duplicated
+        np.testing.assert_array_equal(stream.gather(idx), raster[:, idx, :])
+
+    def test_materialize(self, store, raster):
+        np.testing.assert_array_equal(ReplayStream(store).materialize(), raster)
+
+    def test_shape_and_labels(self, store):
+        stream = ReplayStream(store)
+        assert stream.shape == (12, 30, 9)
+        np.testing.assert_array_equal(stream.labels, np.arange(30) % 5)
+
+    def test_iter_yields_shards(self, store, raster):
+        chunks = list(ReplayStream(store))
+        assert [r.shape[1] for r, _ in chunks] == [7, 7, 7, 7, 2]
+        np.testing.assert_array_equal(
+            np.concatenate([r for r, _ in chunks], axis=1), raster
+        )
+
+    def test_cache_bounds_decodes(self, store):
+        stream = ReplayStream(store, cache_shards=2)
+        # Repeatedly hit the same two shards: decoded once each.
+        for _ in range(5):
+            stream.gather(np.arange(14))
+        assert stream.shard_decodes == 2
+        # Touch a third shard: one more decode, cache evicts LRU.
+        stream.gather(np.array([15]))
+        assert stream.shard_decodes == 3
+        assert len(stream._cache) == 2
+
+    def test_decompress_zero_stuffs(self, subsampled_store, raster):
+        from repro.compression import TemporalSubsampleCodec
+
+        stream = ReplayStream(subsampled_store, decompress=True)
+        assert stream.shape == (24, 30, 9)
+        expected = TemporalSubsampleCodec(2).decompress(raster, 24)
+        np.testing.assert_array_equal(stream.materialize(), expected)
+
+    def test_factor_requires_decompress(self, subsampled_store):
+        with pytest.raises(StoreError, match="without decompression"):
+            ReplayStream(subsampled_store, decompress=False)
+
+    def test_gather_validation(self, store):
+        stream = ReplayStream(store)
+        with pytest.raises(StoreError, match="out of range"):
+            stream.gather(np.array([30]))
+        with pytest.raises(StoreError, match="1-D"):
+            stream.gather(np.zeros((2, 2), dtype=np.int64))
+
+    def test_cache_shards_validated(self, store):
+        with pytest.raises(StoreError):
+            ReplayStream(store, cache_shards=0)
+
+    def test_stale_after_compact(self, store, raster):
+        stream = ReplayStream(store)
+        stream.gather(np.arange(5))
+        store.compact(shard_samples=30)
+        with pytest.raises(StoreError, match="mutated"):
+            stream.gather(np.arange(5))
+        # A fresh stream over the compacted store serves correctly.
+        np.testing.assert_array_equal(ReplayStream(store).materialize(), raster)
+
+    def test_stale_after_append(self, store, raster):
+        stream = ReplayStream(store)
+        store.append(raster[:, :2, :], np.zeros(2))
+        with pytest.raises(StoreError, match="mutated"):
+            stream.gather(np.array([0]))
+        with pytest.raises(StoreError, match="mutated"):
+            stream.labels
+        with pytest.raises(StoreError, match="mutated"):
+            list(stream)
+
+
+class TestConcatReplaySource:
+    def test_parity_with_concatenate(self, store, raster):
+        rng = np.random.default_rng(3)
+        dense = (rng.random((12, 11, 9)) < 0.2).astype(np.float32)
+        source = ConcatReplaySource(dense, ReplayStream(store))
+        reference = np.concatenate([dense, raster], axis=1)
+        assert source.shape == reference.shape
+        order = rng.permutation(41)
+        np.testing.assert_array_equal(
+            source.gather(order), reference[:, order, :]
+        )
+
+    def test_rejects_out_of_range_indices(self, store):
+        # Negative indices must NOT silently wrap into the dense half —
+        # that would break the np.concatenate fancy-indexing identity.
+        source = ConcatReplaySource(np.zeros((12, 10, 9)), ReplayStream(store))
+        with pytest.raises(StoreError, match="out of range"):
+            source.gather(np.array([-1]))
+        with pytest.raises(StoreError, match="out of range"):
+            source.gather(np.array([40]))
+
+    def test_geometry_validated(self, store):
+        with pytest.raises(StoreError, match="frames"):
+            ConcatReplaySource(np.zeros((5, 3, 9)), ReplayStream(store))
+        with pytest.raises(StoreError, match="channels"):
+            ConcatReplaySource(np.zeros((12, 3, 4)), ReplayStream(store))
+        with pytest.raises(StoreError):
+            ConcatReplaySource(np.zeros((12, 3)), ReplayStream(store))
+
+
+class TestLazyDataLoader:
+    def test_batches_identical_to_dense(self, store, raster):
+        rng = np.random.default_rng(5)
+        dense = (rng.random((12, 11, 9)) < 0.2).astype(np.float32)
+        labels = np.arange(41)
+        reference = np.concatenate([dense, raster], axis=1)
+
+        lazy = DataLoader(
+            ConcatReplaySource(dense, ReplayStream(store)),
+            labels,
+            batch_size=8,
+            shuffle=True,
+            rng=np.random.default_rng(99),
+        )
+        dense_loader = DataLoader(
+            reference, labels, batch_size=8, shuffle=True,
+            rng=np.random.default_rng(99),
+        )
+        lazy_batches = list(lazy)
+        dense_batches = list(dense_loader)
+        assert len(lazy_batches) == len(dense_batches) == len(lazy)
+        for (li, ll), (di, dl) in zip(lazy_batches, dense_batches):
+            np.testing.assert_array_equal(li, di)
+            np.testing.assert_array_equal(ll, dl)
+
+    def test_lazy_source_validation(self, store):
+        source = ConcatReplaySource(np.zeros((12, 1, 9)), ReplayStream(store))
+        with pytest.raises(DataError, match="labels"):
+            DataLoader(source, np.zeros(7), batch_size=4)
+        with pytest.raises(DataError, match="batch_size"):
+            DataLoader(source, np.zeros(31), batch_size=0)

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -44,4 +45,49 @@ class TestCommands:
 
     def test_unknown_scale_is_clean_error(self, capsys):
         assert main(["run", "fig12", "--scale", "galactic"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    from repro.replaystore import ReplayStore
+
+    rng = np.random.default_rng(0)
+    store = ReplayStore.create(
+        tmp_path / "store",
+        stored_frames=10,
+        num_channels=8,
+        generated_timesteps=10,
+        shard_samples=4,
+    )
+    store.append(
+        (rng.random((10, 11, 8)) < 0.2).astype(np.float32),
+        rng.integers(0, 3, 11),
+    )
+    return str(store.root)
+
+
+class TestStoreCommands:
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
+    def test_inspect(self, capsys, store_dir):
+        assert main(["store", "inspect", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "shard-00000.bin" in out
+        assert "shard-00002.bin" in out
+
+    def test_stats(self, capsys, store_dir):
+        assert main(["store", "stats", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "samples:" in out and "11 in 3 shards" in out
+        assert "model bytes:" in out
+
+    def test_compact(self, capsys, store_dir):
+        assert main(["store", "compact", store_dir, "--shard-samples", "11"]) == 0
+        assert "3 -> 1 shards" in capsys.readouterr().out
+
+    def test_missing_store_is_clean_error(self, capsys, tmp_path):
+        assert main(["store", "stats", str(tmp_path / "nope")]) == 2
         assert "error:" in capsys.readouterr().err

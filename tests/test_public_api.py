@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.snn",
     "repro.data",
     "repro.compression",
+    "repro.replaystore",
     "repro.training",
     "repro.core",
     "repro.hw",
