@@ -1,0 +1,244 @@
+"""Federated replay with async shard prefetch: on-vs-off step time.
+
+Two layers of measurement:
+
+- ``test_sequential_step_prefetch_{on,off}`` — the real thing: a full
+  store-backed ``run_sequential`` (2 continual steps, ci experiment
+  scale, replay persisted into a per-step federation) timed end to end
+  with the background shard-decode worker enabled vs disabled.
+- ``test_replay_epoch_prefetch_{on,off}`` — the storage layer in
+  isolation: a shuffled ``DataLoader`` epoch over a
+  ``ConcatReplaySource`` whose replay half streams from a federation
+  member, with a fixed matmul standing in for the SNN step, sized by
+  ``REPRO_BENCH_SCALE`` like the other storage benches.
+
+Reading the pair honestly: prefetch moves shard decode onto a second
+core.  On a multi-core host the decode hides behind training compute
+and ``on`` should not exceed ``off`` by more than queue-handoff noise;
+on a single-core runner there is no second core to hide work on, so
+``on`` pays a few percent of switching overhead instead — which is
+exactly what ``REPRO_PREFETCH=0`` is for.  Correctness never depends on
+the mode (``test_prefetch_parity_guard`` and the bitwise tests in
+``tests/core/test_sequential_store.py``).
+
+``test_federated_rebalance`` times the between-steps budget-eviction
+pass (policy sweep + cross-member shard rewrite).
+"""
+
+import itertools
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import DataLoader
+from repro.replaystore import (
+    ConcatReplaySource,
+    FederatedReplayStore,
+    PrefetchingStream,
+    ReplayStore,
+    ReplayStream,
+)
+
+#: (stored_frames, samples per member, channels, shard_samples, compute_dim)
+_SCALE_SIZES = {
+    "ci": (16, 48, 48, 8, 64),
+    "bench": (40, 192, 128, 16, 192),
+    "paper": (40, 768, 256, 32, 384),
+}
+
+
+def _sizes():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    if scale not in _SCALE_SIZES:
+        raise ValueError(
+            f"unknown REPRO_BENCH_SCALE {scale!r}; expected one of "
+            f"{sorted(_SCALE_SIZES)}"
+        )
+    return _SCALE_SIZES[scale]
+
+
+# ----------------------------------------------------------------------
+# The real thing: store-backed sequential NCL, prefetch on vs off
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sequential_scenario():
+    """Pre-trained network + 2-step splits at the ci experiment scale.
+
+    The experiment scale stays ``ci`` regardless of REPRO_BENCH_SCALE:
+    the pair isolates the storage path's contribution to step time, and
+    larger simulator workloads only drown it in SNN compute.
+    """
+    from repro.core.pipeline import pretrain
+    from repro.core.sequential import make_sequential_splits
+    from repro.data.synthetic_shd import SyntheticSHD
+    from repro.data.tasks import make_class_incremental
+    from repro.eval.scale import get_scale
+
+    preset = get_scale("ci")
+    generator = SyntheticSHD(preset.shd, seed=preset.experiment.seed)
+    exp = preset.experiment.replace(num_pretrain_classes=3)
+    base_split = make_class_incremental(
+        generator,
+        exp.samples_per_class,
+        exp.test_samples_per_class,
+        num_pretrain_classes=3,
+    )
+    pretrained = pretrain(exp, base_split)
+    splits = make_sequential_splits(
+        generator,
+        exp.samples_per_class,
+        exp.test_samples_per_class,
+        base_classes=3,
+        steps=2,
+    )
+    return exp, pretrained.network, splits
+
+
+def _bench_sequential(benchmark, sequential_scenario, tmp_path, prefetch):
+    from repro.core import Replay4NCL
+    from repro.core.sequential import run_sequential
+
+    exp, network, splits = sequential_scenario
+    counter = itertools.count()
+
+    def step():
+        root = tmp_path / f"fed-{next(counter)}"
+        return run_sequential(
+            lambda k: Replay4NCL(exp),
+            network,
+            splits,
+            store_root=root,
+            store_shard_samples=8,
+            prefetch=prefetch,
+        )
+
+    result = benchmark(step)
+    assert result.store_root is not None
+
+
+def test_sequential_step_prefetch_on(benchmark, sequential_scenario, tmp_path):
+    _bench_sequential(benchmark, sequential_scenario, tmp_path, prefetch=True)
+
+
+def test_sequential_step_prefetch_off(benchmark, sequential_scenario, tmp_path):
+    _bench_sequential(benchmark, sequential_scenario, tmp_path, prefetch=False)
+
+
+# ----------------------------------------------------------------------
+# Storage layer in isolation: federated replay epoch
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def federation(tmp_path_factory):
+    frames, samples, channels, shard_samples, _ = _sizes()
+    rng = np.random.default_rng(0)
+    root = tmp_path_factory.mktemp("bench-federation") / "fed"
+    fed = FederatedReplayStore.create(root, seed=0)
+    for k in range(3):
+        store = ReplayStore.create(
+            root / f"task-{k}",
+            stored_frames=frames,
+            num_channels=channels,
+            generated_timesteps=frames,
+            shard_samples=shard_samples,
+        )
+        store.append(
+            (rng.random((frames, samples, channels)) < 0.1).astype(np.float32),
+            rng.integers(0, 10, samples),
+        )
+        fed.adopt(f"task-{k}")
+    return fed
+
+
+@pytest.fixture(scope="module")
+def workload(federation):
+    """Dense new-task half, labels, and the compute stand-in."""
+    frames, samples, channels, shard_samples, compute_dim = _sizes()
+    rng = np.random.default_rng(1)
+    dense = (rng.random((frames, samples // 2, channels)) < 0.1).astype(
+        np.float32
+    )
+    member = federation.member("task-0")
+    total = dense.shape[1] + member.num_samples
+    labels = np.arange(total) % 10
+    weights = rng.standard_normal((channels, compute_dim)).astype(np.float32)
+
+    def compute(batch):
+        return float(np.tanh(batch @ weights).sum())
+
+    return dense, member, labels, compute
+
+
+def _epoch(source, labels, compute, *, batch_size=16, seed=2):
+    loader = DataLoader(
+        source,
+        labels,
+        batch_size=batch_size,
+        shuffle=True,
+        rng=np.random.default_rng(seed),
+    )
+    total = 0.0
+    for inputs, _ in loader:
+        total += compute(inputs)
+    return total
+
+
+def _bench_epoch(benchmark, workload, prefetch):
+    # One stream serves every round (matching NCLMethod.run): the
+    # per-epoch timing must not re-pay worker start-up each round.
+    dense, member, labels, compute = workload
+    replay = PrefetchingStream(
+        ReplayStream(member, cache_shards=2), enabled=prefetch
+    )
+    try:
+        source = ConcatReplaySource(dense, replay)
+        benchmark(lambda: _epoch(source, labels, compute))
+    finally:
+        replay.close()
+
+
+def test_replay_epoch_prefetch_on(benchmark, workload):
+    _bench_epoch(benchmark, workload, prefetch=True)
+
+
+def test_replay_epoch_prefetch_off(benchmark, workload):
+    _bench_epoch(benchmark, workload, prefetch=False)
+
+
+def test_prefetch_parity_guard(workload):
+    """Not a timing: the two modes must reduce to the same numbers."""
+    dense, member, labels, compute = workload
+    totals = {}
+    for mode in (True, False):
+        replay = PrefetchingStream(
+            ReplayStream(member, cache_shards=2), enabled=mode
+        )
+        try:
+            totals[mode] = _epoch(
+                ConcatReplaySource(dense, replay), labels, compute
+            )
+        finally:
+            replay.close()
+    assert totals[True] == totals[False]
+
+
+# ----------------------------------------------------------------------
+# Between-steps maintenance: budgeted cross-member eviction
+# ----------------------------------------------------------------------
+def test_federated_rebalance(benchmark, federation, tmp_path):
+    """Budget-eviction pass between steps: policy sweep + member rewrite."""
+    source = federation
+
+    def rebalance():
+        # Fresh copy per round: rebalance mutates the member stores.
+        root = tmp_path / "round"
+        if root.exists():
+            shutil.rmtree(root)
+        shutil.copytree(source.root, root)
+        fed = FederatedReplayStore.open(root)
+        fed.budget_bytes = (fed.num_samples // 2) * fed.sample_bytes
+        return fed.rebalance()
+
+    result = benchmark(rebalance)
+    assert result > 0

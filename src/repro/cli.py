@@ -7,6 +7,7 @@ Usage::
     python -m repro run all --scale ci        # everything, quickly
     python -m repro info                      # version + inventory
     python -m repro store stats runs/buffer   # replay-store maintenance
+    python -m repro store federate runs/seq   # compose per-task stores
 """
 
 from __future__ import annotations
@@ -59,6 +60,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-samples", type=int, default=None,
         help="retarget samples per shard (default: keep the store's setting)",
     )
+    federate = store_sub.add_parser(
+        "federate",
+        help="compose per-task stores under one budget (create/extend/rebalance)",
+    )
+    federate.add_argument(
+        "root", help="federation directory (member stores are subdirectories)"
+    )
+    federate.add_argument(
+        "--members", nargs="*", default=None,
+        help="member names to adopt, in task order (default: every "
+        "not-yet-adopted subdirectory holding a store index, sorted)",
+    )
+    federate.add_argument(
+        "--budget-bytes", type=int, default=None,
+        help="global byte budget enforced across all members "
+        "(default: none; on an existing federation, updates its budget)",
+    )
+    federate.add_argument(
+        "--policy", default=None,
+        help="eviction policy for rebalancing (fifo | reservoir | "
+        "class-balanced; default class-balanced; on an existing "
+        "federation, updates its policy)",
+    )
+    federate.add_argument(
+        "--seed", type=int, default=None,
+        help="RNG seed of the rebalance passes (default 0; on an "
+        "existing federation, updates its seed)",
+    )
     return parser
 
 
@@ -104,10 +133,73 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_federate(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.hw.memory import audit_federation
+    from repro.replaystore import FederatedReplayStore
+    from repro.replaystore.federation import FEDERATION_INDEX_NAME
+    from repro.replaystore.store import INDEX_NAME
+
+    root = Path(args.root)
+    if (root / FEDERATION_INDEX_NAME).exists():
+        federation = FederatedReplayStore.open(root)
+        # Explicit flags retrofit the stored ledger; omitted ones keep it.
+        if (
+            args.budget_bytes is not None
+            or args.policy is not None
+            or args.seed is not None
+        ):
+            federation.configure(
+                budget_bytes=args.budget_bytes,
+                policy=args.policy,
+                seed=args.seed,
+            )
+    else:
+        federation = FederatedReplayStore.create(
+            root,
+            budget_bytes=args.budget_bytes,
+            policy=args.policy or "class-balanced",
+            seed=args.seed if args.seed is not None else 0,
+        )
+    if args.members is not None:
+        candidates = list(args.members)
+    else:
+        candidates = sorted(
+            child.name
+            for child in root.iterdir()
+            if child.is_dir()
+            and (child / INDEX_NAME).exists()
+            and child.name not in federation.member_names
+        )
+    for name in candidates:
+        federation.adopt(name)
+        print(f"adopted {name} ({federation.member(name).num_samples} samples)")
+    evicted = federation.rebalance()
+    stats = federation.stats()
+    print(f"{federation!r}")
+    print(f"members:        {stats.member_samples}")
+    print(f"samples:        {stats.num_samples} "
+          f"({stats.sample_bytes} B/sample modelled)")
+    print(f"class counts:   {stats.class_counts}")
+    if stats.budget_bytes is not None:
+        print(f"budget:         {stats.model_bytes} / {stats.budget_bytes} B "
+              f"({stats.budget_utilization:.1%} used, "
+              f"{evicted} evicted this pass)")
+    if federation.num_samples:
+        audit = audit_federation(federation)
+        print(f"payload bytes:  {audit.payload_bytes}")
+        print(f"disk bytes:     {audit.disk_bytes} "
+              f"(model {audit.modelled_bytes} B)")
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     from repro.hw.memory import audit_store
     from repro.replaystore import ReplayStore
 
+    if args.store_command == "federate":
+        return _cmd_store_federate(args)
     store = ReplayStore.open(args.root)
     if args.store_command == "inspect":
         print(f"{store!r}  T={store.meta.stored_frames} C={store.meta.num_channels} "

@@ -31,7 +31,82 @@ from repro.replaystore.builder import SAMPLE_HEADER_BYTES
 from repro.snn.network import SpikingNetwork
 from repro.snn.threshold import ThresholdController
 
-__all__ = ["LatentReplayBuffer", "HEADER_BYTES_PER_SAMPLE"]
+__all__ = [
+    "LatentReplayBuffer",
+    "HEADER_BYTES_PER_SAMPLE",
+    "frozen_front_trace",
+]
+
+
+def _frozen_front_pass(
+    network: SpikingNetwork,
+    insertion_layer: int,
+    inputs: np.ndarray,
+    controller: ThresholdController | None = None,
+):
+    """Run the frozen front once; return ``(trace, final_activations)``.
+
+    Layers are forced non-trainable for the pass so no tape is built.
+    The shared engine of :func:`frozen_front_trace` (dense accounting)
+    and the chunked generation loop in
+    :meth:`LatentReplayBuffer.generate_into_store` — one implementation,
+    so the op accounting the hw models consume can never diverge
+    between the dense and streaming paths.
+    """
+    from repro.snn.network import _layer_controller
+    from repro.snn.state import LayerTraceEntry, SpikeTrace
+
+    network._check_layer_index(insertion_layer)
+    trace = SpikeTrace()
+    inputs = np.asarray(inputs)
+    timesteps = int(inputs.shape[0])
+    batch = int(inputs.shape[1])
+    activations = inputs
+    flags = [
+        (layer, layer.trainable)
+        for layer in network.hidden_layers[:insertion_layer]
+    ]
+    try:
+        for layer, _ in flags:
+            layer.set_trainable(False)
+        for layer, _ in flags:
+            out = layer.forward(activations, _layer_controller(controller, layer))
+            trace.add(
+                LayerTraceEntry(
+                    name=layer.name,
+                    n_in=layer.n_in,
+                    n_out=layer.n_out,
+                    recurrent=layer.recurrent,
+                    input_spike_count=float(np.asarray(activations).sum()),
+                    output_spike_count=float(out.data.sum()),
+                    timesteps=timesteps,
+                    batch=batch,
+                )
+            )
+            activations = out.data
+    finally:
+        for layer, flag in flags:
+            layer.set_trainable(flag)
+    return trace, activations
+
+
+def frozen_front_trace(
+    network: SpikingNetwork,
+    insertion_layer: int,
+    inputs: np.ndarray,
+    controller: ThresholdController | None = None,
+):
+    """Forward-only trace of the frozen front over ``inputs``.
+
+    Runs layers ``0 .. insertion_layer-1`` purely for op accounting
+    (spike counts per layer feed the hardware latency/energy models).
+    ``controller`` must match whatever the accounted pass used (e.g. the
+    generation controller for the latent-buffer trace) so the spike
+    counts are faithful.  Returns an empty trace for
+    ``insertion_layer=0`` (raw-input insertion has no frozen front).
+    """
+    trace, _ = _frozen_front_pass(network, insertion_layer, inputs, controller)
+    return trace
 
 #: Bytes of per-sample metadata (label id, sample length) charged by the
 #: storage model on top of the packed payload.  Shared with the
@@ -109,6 +184,120 @@ class LatentReplayBuffer:
             generated_timesteps=timesteps,
             codec=codec,
         )
+
+    @classmethod
+    def generate_into_store(
+        cls,
+        network: SpikingNetwork,
+        replay_data: SpikeDataset,
+        root,
+        *,
+        insertion_layer: int,
+        timesteps: int,
+        compression_factor: int = 1,
+        controller: ThresholdController | None = None,
+        shard_samples: int | None = None,
+        overwrite: bool = False,
+    ):
+        """Generate latent data directly into an on-disk replay store.
+
+        The streaming twin of :meth:`generate` + :meth:`to_store`: the
+        replay subset is pushed through the frozen front in
+        shard-samples-sized chunks, each chunk encoded and appended to
+        the store immediately — so generation's peak resident latent
+        memory is one shard, not the whole buffer, which is what lets a
+        long task sequence persist every step without ever holding a
+        dense per-task buffer (results are bitwise-identical to the
+        dense path: per-sample dynamics are batch-independent).
+
+        When ``controller`` is not None the adaptive threshold observes
+        *batch-aggregated* spike statistics, so chunked generation would
+        change the thresholds Alg. 1 lines 8-19 produce; generation then
+        falls back to one dense pass (still released right after the
+        store append).
+
+        Returns ``(store, trace)`` where ``trace`` is the frozen-front
+        :class:`~repro.snn.state.SpikeTrace` of the generation pass (the
+        op-accounting input; empty for ``insertion_layer=0``).
+        """
+        from repro.replaystore.store import DEFAULT_SHARD_SAMPLES
+        from repro.snn.state import LayerTraceEntry, SpikeTrace
+
+        if len(replay_data) == 0:
+            raise ConfigError("replay dataset is empty")
+        network._check_layer_index(insertion_layer)
+        chunk_samples = shard_samples or DEFAULT_SHARD_SAMPLES
+
+        if controller is not None:
+            buffer = cls.generate(
+                network,
+                replay_data,
+                insertion_layer=insertion_layer,
+                timesteps=timesteps,
+                compression_factor=compression_factor,
+                controller=controller,
+            )
+            store = buffer.to_store(
+                root, shard_samples=chunk_samples, overwrite=overwrite
+            )
+            trace = frozen_front_trace(
+                network,
+                insertion_layer,
+                replay_data.to_dense(timesteps),
+                controller=controller,
+            )
+            return store, trace
+
+        codec = TemporalSubsampleCodec(compression_factor)
+        store = None
+        chunk_traces = []
+        for start in range(0, len(replay_data), chunk_samples):
+            chunk = replay_data.subset(
+                np.arange(start, min(start + chunk_samples, len(replay_data)))
+            )
+            chunk_trace, activations = _frozen_front_pass(
+                network, insertion_layer, chunk.to_dense(timesteps)
+            )
+            chunk_traces.append(chunk_trace)
+            compressed = codec.compress(
+                np.asarray(activations, dtype=np.float32)
+            )
+            if store is None:
+                from repro.replaystore.store import ReplayStore
+
+                store = ReplayStore.create(
+                    root,
+                    stored_frames=compressed.shape[0],
+                    num_channels=compressed.shape[2],
+                    generated_timesteps=timesteps,
+                    insertion_layer=insertion_layer,
+                    codec_factor=compression_factor,
+                    shard_samples=chunk_samples,
+                    overwrite=overwrite,
+                )
+            store.append(compressed, chunk.labels)
+
+        # Merge the per-chunk traces: spike counts sum across chunks,
+        # the batch extent is the whole subset.
+        trace = SpikeTrace()
+        for i, first in enumerate(chunk_traces[0].entries):
+            trace.add(
+                LayerTraceEntry(
+                    name=first.name,
+                    n_in=first.n_in,
+                    n_out=first.n_out,
+                    recurrent=first.recurrent,
+                    input_spike_count=sum(
+                        t.entries[i].input_spike_count for t in chunk_traces
+                    ),
+                    output_spike_count=sum(
+                        t.entries[i].output_spike_count for t in chunk_traces
+                    ),
+                    timesteps=timesteps,
+                    batch=len(replay_data),
+                )
+            )
+        return store, trace
 
     def __post_init__(self):
         if self.compressed.ndim != 3:

@@ -68,12 +68,15 @@ def run_method(
     split: ClassIncrementalSplit,
     replay_store_dir=None,
     store_shard_samples: int | None = None,
+    store_overwrite: bool = False,
+    prefetch: bool | None = None,
 ) -> NCLResult:
     """Run one NCL method from a shared pre-trained model.
 
     ``replay_store_dir`` routes replay through an on-disk
     :class:`~repro.replaystore.store.ReplayStore` instead of the dense
-    in-memory buffer (see :meth:`NCLMethod.run`).
+    in-memory buffer; ``prefetch`` toggles async shard prefetch on that
+    path (see :meth:`NCLMethod.run`).
     """
     network = (
         pretrained.network if isinstance(pretrained, PretrainResult) else pretrained
@@ -83,4 +86,6 @@ def run_method(
         split,
         replay_store_dir=replay_store_dir,
         store_shard_samples=store_shard_samples,
+        store_overwrite=store_overwrite,
+        prefetch=prefetch,
     )

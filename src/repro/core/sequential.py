@@ -12,11 +12,20 @@ agents face a *stream* of new classes; this module chains NCL steps:
 
 This is the natural extension of Alg. 1 and the stress test for the
 paper's parameter adjustments: forgetting can now compound across steps.
+
+Long sequences should not hold replay densely: pass ``store_root`` to
+persist every step's latent data as a member of a
+:class:`~repro.replaystore.federation.FederatedReplayStore` — each step
+trains through a lazy (optionally prefetching) shard stream, so peak
+resident replay memory stays bounded by the shard size no matter how
+many tasks the stream brings, and an optional global byte budget is
+enforced across all steps' stores by cross-member eviction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.strategies import NCLMethod, NCLResult
 from repro.data.synthetic_shd import SyntheticSHD
@@ -32,6 +41,9 @@ class SequentialResult:
     """Outcome of a multi-step scenario."""
 
     steps: tuple[NCLResult, ...]
+    #: Root of the per-step replay-store federation when the run was
+    #: store-backed (``store_root``); None for dense in-memory runs.
+    store_root: str | None = None
 
     @property
     def final_network(self) -> SpikingNetwork:
@@ -115,24 +127,100 @@ def make_sequential_splits(
 
 def run_sequential(
     method_factory,
-    pretrained: SpikingNetwork,
+    pretrained,
     splits: list[ClassIncrementalSplit],
+    *,
+    store_root: str | Path | None = None,
+    store_shard_samples: int | None = None,
+    store_overwrite: bool = False,
+    prefetch: bool | None = None,
+    federation_budget_bytes: int | None = None,
+    federation_policy: str = "class-balanced",
+    federation_seed: int = 0,
 ) -> SequentialResult:
     """Chain NCL steps: each starts from the previous step's network.
 
     ``method_factory`` is called once per step (``factory(step_index)``)
     so policies may vary along the stream; return a fresh
-    :class:`NCLMethod` each time.
+    :class:`NCLMethod` each time.  ``pretrained`` is the starting
+    network — a :class:`SpikingNetwork` or a
+    :class:`~repro.core.pipeline.PretrainResult` (unwrapped like
+    :func:`~repro.core.pipeline.run_method` does).
+
+    Parameters
+    ----------
+    store_root:
+        Directory for the store-backed path: step k persists its latent
+        replay data as member store ``store_root/step-<k>`` of a
+        :class:`~repro.replaystore.federation.FederatedReplayStore`
+        instead of holding a dense per-task buffer, and trains through a
+        lazy shard stream — peak resident replay memory is bounded by
+        the stream's two-shard decode cache (``2 * store_shard_samples``
+        dense samples) for *every* step of an arbitrary-length task
+        stream.  Training trajectories are bitwise-identical to the
+        dense path at the same seed.
+    store_shard_samples / prefetch:
+        Forwarded to each step's :meth:`NCLMethod.run` (shard decode
+        granularity; async shard prefetch, ``None`` = the
+        ``REPRO_PREFETCH`` environment switch).
+    store_overwrite:
+        Replace an existing federation (and its member stores) at
+        ``store_root`` instead of refusing to clobber it — the re-run
+        switch for a crashed or repeated scenario.
+    federation_budget_bytes:
+        Optional global byte budget over *all* steps' stores together.
+        After each step the federation rebalances: every stored sample
+        is re-admitted through ``federation_policy`` (class-balanced by
+        default) and losers are evicted across member stores, so the
+        archived replay memory never exceeds the budget no matter how
+        long the sequence runs.  The just-trained step is rebalanced
+        *after* its training finished — the budget caps the persistent
+        archive, never perturbing the current step's replay set.
+    federation_policy / federation_seed:
+        Eviction policy name and RNG seed of the rebalance passes.
     """
     if not splits:
         raise DataError("need at least one split")
+    from repro.core.pipeline import PretrainResult
+
+    if isinstance(pretrained, PretrainResult):
+        pretrained = pretrained.network
+    federation = None
+    if store_root is not None:
+        from repro.replaystore.federation import FederatedReplayStore
+
+        store_root = Path(store_root)
+        federation = FederatedReplayStore.create(
+            store_root,
+            budget_bytes=federation_budget_bytes,
+            policy=federation_policy,
+            seed=federation_seed,
+            overwrite=store_overwrite,
+        )
     network = pretrained
     results = []
     for k, split in enumerate(splits):
         method: NCLMethod = method_factory(k)
-        result = method.run(network, split)
+        if federation is not None:
+            member = f"step-{k:03d}"
+            result = method.run(
+                network,
+                split,
+                replay_store_dir=store_root / member,
+                store_shard_samples=store_shard_samples,
+                store_overwrite=store_overwrite,
+                prefetch=prefetch,
+            )
+            if result.replay_store_path is not None:
+                federation.adopt(member)
+                federation.rebalance()
+        else:
+            result = method.run(network, split)
         if result.network is None:
             raise DataError("method did not return its trained network")
         results.append(result)
         network = result.network
-    return SequentialResult(steps=tuple(results))
+    return SequentialResult(
+        steps=tuple(results),
+        store_root=str(store_root) if federation is not None else None,
+    )

@@ -82,6 +82,10 @@ class NCLResult:
     #: Directory of the on-disk replay store when the run used the
     #: store-backed path (``replay_store_dir``); None for in-memory runs.
     replay_store_path: str | None = None
+    #: Measured high-water mark of decoded replay bytes resident during
+    #: store-backed training (the stream's LRU residency); 0 for
+    #: in-memory runs, where the whole buffer is always resident.
+    replay_peak_resident_bytes: int = 0
 
     def summary(self) -> str:
         return (
@@ -143,19 +147,31 @@ class NCLMethod:
         split: ClassIncrementalSplit,
         replay_store_dir: str | Path | None = None,
         store_shard_samples: int | None = None,
+        store_overwrite: bool = False,
+        prefetch: bool | None = None,
     ) -> NCLResult:
         """Execute the full NCL phase; the pre-trained network is not mutated.
 
         ``replay_store_dir`` switches the replay buffer to the
         store-backed path: the generated latent data is persisted as a
         sharded :class:`~repro.replaystore.store.ReplayStore` at that
-        directory, the dense buffer is released, and training pulls
-        replay minibatches through a lazy
+        directory (streamed chunk-by-chunk when no generation controller
+        is active, so not even generation holds the dense buffer), and
+        training pulls replay minibatches through a lazy
         :class:`~repro.replaystore.stream.ReplayStream` (shard-at-a-time
         decode).  The training trajectory is bitwise-identical to the
         in-memory path at the same seed — shard codecs are lossless and
         the minibatch order is unchanged — while peak resident replay
-        memory stays bounded by ``store_shard_samples`` decoded samples.
+        memory stays bounded by the stream's decode cache: two decoded
+        shards, i.e. ``2 * store_shard_samples`` dense samples (measured
+        into ``NCLResult.replay_peak_resident_bytes``).
+
+        ``prefetch`` controls async shard prefetch on the store-backed
+        path: a background thread decodes the next minibatch's shards
+        while the current batch trains (see
+        :class:`~repro.replaystore.prefetch.PrefetchingStream` — output
+        is bitwise-identical either way).  ``None`` defers to the
+        ``REPRO_PREFETCH`` environment switch.
         """
         config = self.config
         network = pretrained.clone()
@@ -168,26 +184,41 @@ class NCLMethod:
 
         # ---- prepare: latent replay buffer (Alg. 1 lines 6-20) --------
         buffer: LatentReplayBuffer | None = None
+        store = None
         if self.uses_replay():
             replay_subset = split.pretrain_train.sample_fraction(
                 config.ncl.replay_fraction, spawn(config.seed, "replay-subset")
             )
-            buffer = LatentReplayBuffer.generate(
-                network,
-                replay_subset,
-                insertion_layer=insertion,
-                timesteps=timesteps,
-                compression_factor=self.compression_factor(),
-                controller=self.make_generation_controller(),
-            )
-            prepare_cost.frozen_traces.append(
-                self._frozen_trace(
+            if replay_store_dir is not None:
+                store, generation_trace = LatentReplayBuffer.generate_into_store(
                     network,
-                    insertion,
-                    replay_subset.to_dense(timesteps),
+                    replay_subset,
+                    replay_store_dir,
+                    insertion_layer=insertion,
+                    timesteps=timesteps,
+                    compression_factor=self.compression_factor(),
+                    controller=self.make_generation_controller(),
+                    shard_samples=store_shard_samples,
+                    overwrite=store_overwrite,
+                )
+                prepare_cost.frozen_traces.append(generation_trace)
+            else:
+                buffer = LatentReplayBuffer.generate(
+                    network,
+                    replay_subset,
+                    insertion_layer=insertion,
+                    timesteps=timesteps,
+                    compression_factor=self.compression_factor(),
                     controller=self.make_generation_controller(),
                 )
-            )
+                prepare_cost.frozen_traces.append(
+                    self._frozen_trace(
+                        network,
+                        insertion,
+                        replay_subset.to_dense(timesteps),
+                        controller=self.make_generation_controller(),
+                    )
+                )
 
         # ---- current-task activations (Alg. 1 line 23) ----------------
         new_inputs = split.new_train.to_dense(timesteps)
@@ -198,87 +229,104 @@ class NCLMethod:
         latent_frames = 0
         decompressed_cells = 0
         store_path: str | None = None
+        replay_view = None
         if buffer is not None:
             latent_bytes = buffer.storage_bytes()
             latent_frames = buffer.stored_frames
             decompressed_cells = buffer.decompressed_cells_per_replay(
                 self.decompress_for_replay()
             )
-            if replay_store_dir is not None:
-                from repro.replaystore.stream import ConcatReplaySource, ReplayStream
+            replay_raster = buffer.materialize(
+                decompress=self.decompress_for_replay()
+            )
+            train_inputs = np.concatenate([new_activations, replay_raster], axis=1)
+            train_labels = np.concatenate([new_labels, buffer.labels])
+        elif store is not None:
+            from repro.hw.memory import latent_memory_bytes
+            from repro.replaystore.prefetch import PrefetchingStream
+            from repro.replaystore.stream import ConcatReplaySource, ReplayStream
 
-                store = buffer.to_store(
-                    replay_store_dir, shard_samples=store_shard_samples
+            # Path-independent accounting: same storage model the dense
+            # buffer would have reported (asserted in the parity tests).
+            latent_bytes = latent_memory_bytes(
+                store.meta.stored_frames, store.num_samples, store.meta.num_channels
+            )
+            latent_frames = store.meta.stored_frames
+            if self.decompress_for_replay():
+                decompressed_cells = int(
+                    store.meta.generated_timesteps
+                    * store.num_samples
+                    * store.meta.num_channels
                 )
-                train_labels = np.concatenate([new_labels, store.labels])
-                buffer = None  # replay now lives on disk, not in memory
-                stream = ReplayStream(
-                    store, decompress=self.decompress_for_replay()
-                )
-                train_inputs = ConcatReplaySource(new_activations, stream)
-                store_path = str(store.root)
-            else:
-                replay_raster = buffer.materialize(
-                    decompress=self.decompress_for_replay()
-                )
-                train_inputs = np.concatenate(
-                    [new_activations, replay_raster], axis=1
-                )
-                train_labels = np.concatenate([new_labels, buffer.labels])
+            stream = ReplayStream(store, decompress=self.decompress_for_replay())
+            replay_view = PrefetchingStream(stream, enabled=prefetch)
+            train_inputs = ConcatReplaySource(new_activations, replay_view)
+            train_labels = np.concatenate([new_labels, store.labels])
+            store_path = str(store.root)
         else:
             train_inputs = new_activations
             train_labels = new_labels
 
         # ---- NCL training (Alg. 1 lines 21-33) ------------------------
-        controller = self.make_controller()
-        optimizer = Adam(network.trainable_parameters(), self.learning_rate())
-        trainer = Trainer(
-            network,
-            optimizer,
-            TrainerConfig(
-                epochs=config.ncl.epochs,
-                batch_size=config.ncl.batch_size,
-                start_layer=insertion,
-            ),
-            rng=rng,
-            controller=controller,
-        )
-
-        old_test = split.pretrain_test.to_dense(timesteps)
-        new_test = split.new_test.to_dense(timesteps)
-        old_labels = split.pretrain_test.labels
-        new_test_labels = split.new_test.labels
-
-        def predict(inputs: np.ndarray) -> np.ndarray:
-            # Deployment semantics of Alg. 1: the frozen front keeps its
-            # static pre-trained threshold; adaptive thresholds apply to
-            # the learning layers only.
-            return network.predict(
-                inputs,
-                controller=self.make_controller(),
-                controller_from_layer=insertion,
+        # The try covers everything from here to the end of training:
+        # replay_view owns a live worker thread, so any failure before
+        # fit() must still join it (not just failures inside fit).
+        try:
+            controller = self.make_controller()
+            optimizer = Adam(
+                network.trainable_parameters(), self.learning_rate()
+            )
+            trainer = Trainer(
+                network,
+                optimizer,
+                TrainerConfig(
+                    epochs=config.ncl.epochs,
+                    batch_size=config.ncl.batch_size,
+                    start_layer=insertion,
+                ),
+                rng=rng,
+                controller=controller,
             )
 
-        def eval_old() -> float:
-            return top1_accuracy(predict(old_test), old_labels)
+            old_test = split.pretrain_test.to_dense(timesteps)
+            new_test = split.new_test.to_dense(timesteps)
+            old_labels = split.pretrain_test.labels
+            new_test_labels = split.new_test.labels
 
-        def eval_new() -> float:
-            return top1_accuracy(predict(new_test), new_test_labels)
+            def predict(inputs: np.ndarray) -> np.ndarray:
+                # Deployment semantics of Alg. 1: the frozen front keeps
+                # its static pre-trained threshold; adaptive thresholds
+                # apply to the learning layers only.
+                return network.predict(
+                    inputs,
+                    controller=self.make_controller(),
+                    controller_from_layer=insertion,
+                )
 
-        def eval_overall() -> float:
-            preds = np.concatenate([predict(old_test), predict(new_test)])
-            labels = np.concatenate([old_labels, new_test_labels])
-            return top1_accuracy(preds, labels)
+            def eval_old() -> float:
+                return top1_accuracy(predict(old_test), old_labels)
 
-        history = trainer.fit(
-            train_inputs,
-            train_labels,
-            evaluators={
-                "old_task_accuracy": eval_old,
-                "new_task_accuracy": eval_new,
-                "overall_accuracy": eval_overall,
-            },
-        )
+            def eval_new() -> float:
+                return top1_accuracy(predict(new_test), new_test_labels)
+
+            def eval_overall() -> float:
+                preds = np.concatenate([predict(old_test), predict(new_test)])
+                labels = np.concatenate([old_labels, new_test_labels])
+                return top1_accuracy(preds, labels)
+
+            history = trainer.fit(
+                train_inputs,
+                train_labels,
+                evaluators={
+                    "old_task_accuracy": eval_old,
+                    "new_task_accuracy": eval_new,
+                    "overall_accuracy": eval_overall,
+                },
+            )
+        finally:
+            if replay_view is not None:
+                replay_view.close()
+        peak_resident = replay_view.peak_cache_bytes if replay_view else 0
 
         epoch_costs = self._collect_epoch_costs(
             trainer, network, insertion, new_inputs, decompressed_cells, timesteps
@@ -299,6 +347,7 @@ class NCLMethod:
             prepare_cost=prepare_cost,
             network=network,
             replay_store_path=store_path,
+            replay_peak_resident_bytes=peak_resident,
         )
 
     # ------------------------------------------------------------------
@@ -311,36 +360,13 @@ class NCLMethod:
     ) -> SpikeTrace:
         """Trace of running the frozen front once over ``inputs``.
 
-        Forward-only re-run used purely for op accounting; the layers are
-        frozen so no tape is built.  ``controller`` must match whatever
-        the accounted pass used (e.g. the generation controller for the
-        latent-buffer trace) so the spike counts are faithful.
+        Forward-only re-run used purely for op accounting; see
+        :func:`~repro.core.latent_replay.frozen_front_trace` (the shared
+        authority, also used by store-streamed generation).
         """
-        trace = SpikeTrace()
-        if insertion == 0:
-            return trace
-        from repro.snn.network import _layer_controller
-        from repro.snn.state import LayerTraceEntry
+        from repro.core.latent_replay import frozen_front_trace
 
-        activations = inputs
-        timesteps, batch = inputs.shape[0], inputs.shape[1]
-        for i in range(insertion):
-            layer = network.hidden_layers[i]
-            out = layer.forward(activations, _layer_controller(controller, layer))
-            trace.add(
-                LayerTraceEntry(
-                    name=layer.name,
-                    n_in=layer.n_in,
-                    n_out=layer.n_out,
-                    recurrent=layer.recurrent,
-                    input_spike_count=float(np.asarray(activations).sum()),
-                    output_spike_count=float(out.data.sum()),
-                    timesteps=timesteps,
-                    batch=batch,
-                )
-            )
-            activations = out.data
-        return trace
+        return frozen_front_trace(network, insertion, inputs, controller)
 
     def _collect_epoch_costs(
         self,

@@ -28,7 +28,9 @@ from repro.hw.energy import EnergyModel
 from repro.hw.latency import LatencyModel
 from repro.hw.memory import (
     latent_memory_bytes,
+    audit_federation,
     audit_store,
+    FederationAudit,
     LatentMemoryModel,
     StoreAudit,
 )
@@ -58,6 +60,8 @@ __all__ = [
     "LatentMemoryModel",
     "StoreAudit",
     "audit_store",
+    "FederationAudit",
+    "audit_federation",
     "CostReport",
     "MethodCost",
     "build_cost_report",

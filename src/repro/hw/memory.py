@@ -15,7 +15,14 @@ from repro.compression.bitpack import BitpackCodec
 from repro.core.latent_replay import HEADER_BYTES_PER_SAMPLE, LatentReplayBuffer
 from repro.errors import ConfigError
 
-__all__ = ["latent_memory_bytes", "LatentMemoryModel", "StoreAudit", "audit_store"]
+__all__ = [
+    "latent_memory_bytes",
+    "LatentMemoryModel",
+    "StoreAudit",
+    "audit_store",
+    "FederationAudit",
+    "audit_federation",
+]
 
 
 def latent_memory_bytes(
@@ -84,6 +91,72 @@ def audit_store(store, header_bytes: int = HEADER_BYTES_PER_SAMPLE) -> StoreAudi
         disk_bytes=store.disk_bytes(),
         num_shards=store.num_shards,
         num_samples=store.num_samples,
+    )
+
+
+@dataclass(frozen=True)
+class FederationAudit:
+    """Model-vs-disk accounting of a federated replay store.
+
+    Aggregates the per-member :class:`StoreAudit` rows and adds the
+    federation's own budget ledger: ``budget_model_bytes`` is the
+    per-sample budget model (the quantity the federation's
+    ``budget_bytes`` caps — same model the streaming builder budgets
+    with), while ``modelled_bytes`` sums the members' Fig. 12 bitmap
+    models.  Empty members (fully evicted by rebalancing) contribute
+    zero and carry no audit row.
+    """
+
+    member_audits: dict[str, StoreAudit]
+    modelled_bytes: int
+    payload_bytes: int
+    disk_bytes: int
+    budget_model_bytes: int
+    budget_bytes: int | None
+    num_members: int
+    num_samples: int
+
+    @property
+    def budget_utilization(self) -> float | None:
+        """Budget-model bytes over the budget (None when unbudgeted)."""
+        if self.budget_bytes is None:
+            return None
+        return self.budget_model_bytes / self.budget_bytes
+
+    @property
+    def within_budget(self) -> bool:
+        """The federation's core invariant (vacuously true unbudgeted)."""
+        if self.budget_bytes is None:
+            return True
+        return self.budget_model_bytes <= self.budget_bytes
+
+
+def audit_federation(federation, header_bytes: int = HEADER_BYTES_PER_SAMPLE):
+    """Cross-check the latent-memory model against a whole federation.
+
+    The federated twin of :func:`audit_store`: every non-empty member
+    store gets the model-vs-disk check, and the federation's global
+    byte-budget invariant is surfaced as
+    :attr:`FederationAudit.within_budget` — the quantity the
+    long-task-sequence tests assert never goes false across steps.
+    """
+    if federation.num_members == 0:
+        raise ConfigError(
+            f"federation at {federation.root} has no members to audit"
+        )
+    member_audits: dict[str, StoreAudit] = {}
+    for name, store in federation.members():
+        if store.num_samples > 0:
+            member_audits[name] = audit_store(store, header_bytes)
+    return FederationAudit(
+        member_audits=member_audits,
+        modelled_bytes=sum(a.modelled_bytes for a in member_audits.values()),
+        payload_bytes=federation.payload_bytes(),
+        disk_bytes=federation.disk_bytes(),
+        budget_model_bytes=federation.model_bytes(),
+        budget_bytes=federation.budget_bytes,
+        num_members=federation.num_members,
+        num_samples=federation.num_samples,
     )
 
 

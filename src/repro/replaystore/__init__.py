@@ -3,13 +3,22 @@
 The paper's latent replay buffer, grown into a storage system: shards of
 codec-compressed binary rasters on disk (``format``/``store``), hard
 byte budgets with pluggable admission/eviction (``policies``/
-``builder``), and lazy shard-at-a-time replay into training
-(``stream``).  ``LatentReplayBuffer.to_store()`` /
-``NCLMethod.run(..., replay_store_dir=...)`` are the high-level entry
+``builder``), lazy shard-at-a-time replay into training (``stream``),
+async shard prefetch overlapping decode with the SNN step
+(``prefetch``), and multi-store federation for long task sequences
+under one global budget (``federation``).
+``LatentReplayBuffer.to_store()`` /
+``NCLMethod.run(..., replay_store_dir=...)`` /
+``run_sequential(..., store_root=...)`` are the high-level entry
 points; ``repro store`` is the CLI face.
 """
 
 from repro.replaystore.builder import SAMPLE_HEADER_BYTES, StreamingStoreBuilder
+from repro.replaystore.federation import (
+    FederatedReplayStore,
+    FederatedReplayStream,
+    FederationStats,
+)
 from repro.replaystore.format import (
     CODEC_AER,
     CODEC_BITPACK,
@@ -33,6 +42,7 @@ from repro.replaystore.store import (
     StoreMeta,
     StoreStats,
 )
+from repro.replaystore.prefetch import PrefetchingStream, prefetch_enabled
 from repro.replaystore.stream import ConcatReplaySource, ReplayStream
 
 __all__ = [
@@ -57,4 +67,9 @@ __all__ = [
     "StoreStats",
     "ConcatReplaySource",
     "ReplayStream",
+    "PrefetchingStream",
+    "prefetch_enabled",
+    "FederatedReplayStore",
+    "FederatedReplayStream",
+    "FederationStats",
 ]

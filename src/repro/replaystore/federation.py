@@ -1,0 +1,541 @@
+"""Federation of per-task replay stores under one global byte budget.
+
+A long task stream persists one :class:`~repro.replaystore.store.ReplayStore`
+per continual step.  The federation composes those member stores into a
+single class-balanced replay view and owns the *global* memory
+invariant: the modelled bytes of all members together never exceed
+``budget_bytes``.  When a new member pushes the total over budget,
+:meth:`FederatedReplayStore.rebalance` re-admits every stored sample —
+in global arrival order — through one of the existing
+:mod:`~repro.replaystore.policies` and rewrites each member to hold only
+its survivors (:meth:`~repro.replaystore.store.ReplayStore.filter`), so
+eviction pressure flows *across* stores: a class-balanced policy will
+evict over-represented classes from old members to make room for a new
+task's samples.
+
+On disk a federation is a directory of member stores plus one index::
+
+    root/
+      federation.json     # budget, policy, seed, member order
+      step-000/           # ordinary ReplayStore directories
+        index.json
+        shard-00000.bin
+      step-001/
+        ...
+
+Member stores stay fully self-describing — ``repro store stats
+root/step-000`` keeps working — the federation only adds the budget
+ledger and the composed view on top.
+
+Byte accounting uses the same per-sample model as the
+:class:`~repro.replaystore.builder.StreamingStoreBuilder` (bit-packed
+payload + :data:`~repro.replaystore.builder.SAMPLE_HEADER_BYTES`), so a
+federation budget and a builder budget mean the same thing.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.compression.bitpack import BitpackCodec
+from repro.errors import StoreError
+from repro.replaystore.builder import SAMPLE_HEADER_BYTES
+from repro.replaystore.policies import get_policy
+from repro.replaystore.store import INDEX_NAME, ReplayStore
+from repro.replaystore.stream import ReplayStream
+from repro.seeding import spawn
+
+__all__ = [
+    "FEDERATION_INDEX_NAME",
+    "FederationStats",
+    "FederatedReplayStore",
+    "FederatedReplayStream",
+]
+
+FEDERATION_INDEX_NAME = "federation.json"
+FEDERATION_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FederationStats:
+    """Aggregate view of a federation (the ``repro store federate`` payload)."""
+
+    num_members: int
+    num_samples: int
+    sample_bytes: int
+    model_bytes: int
+    budget_bytes: int | None
+    policy: str
+    member_samples: dict[str, int]
+    class_counts: dict[int, int]
+
+    @property
+    def budget_utilization(self) -> float | None:
+        """Modelled bytes over budget (None when unbudgeted)."""
+        if self.budget_bytes is None:
+            return None
+        return self.model_bytes / self.budget_bytes
+
+
+class FederatedReplayStore:
+    """Ordered member stores + global budget ledger + composed view."""
+
+    def __init__(
+        self,
+        root: Path,
+        member_names: list[str],
+        budget_bytes: int | None,
+        policy: str,
+        seed: int,
+        rebalances: int = 0,
+    ):
+        self.root = Path(root)
+        self.member_names = list(member_names)
+        self.budget_bytes = None if budget_bytes is None else int(budget_bytes)
+        self.policy = policy
+        self.seed = int(seed)
+        #: Count of completed rebalance passes; keys the rebalance RNG so
+        #: repeated passes stay deterministic yet independent.
+        self.rebalances = int(rebalances)
+        self._members: dict[str, ReplayStore] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        *,
+        budget_bytes: int | None = None,
+        policy: str = "class-balanced",
+        seed: int = 0,
+        overwrite: bool = False,
+    ) -> "FederatedReplayStore":
+        """Initialise an empty federation directory."""
+        root = Path(root)
+        index_path = root / FEDERATION_INDEX_NAME
+        if index_path.exists() and not overwrite:
+            raise StoreError(
+                f"federation already exists at {root} "
+                "(pass overwrite=True to replace)"
+            )
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise StoreError(f"budget_bytes must be positive, got {budget_bytes}")
+        get_policy(policy)  # validate the name up front
+        # Overwrite must take the old run's member stores with it:
+        # leaving them on disk would let a later auto-discovering
+        # `adopt` silently mix stale latents into the new archive.
+        old_names: list[str] = []
+        if index_path.exists():
+            try:
+                old_names = cls.open(root).member_names
+            except StoreError:
+                old_names = []  # corrupt index: replace it, keep the dirs
+        root.mkdir(parents=True, exist_ok=True)
+        federation = cls(root, [], budget_bytes, policy, seed)
+        # Atomic index rename is the commit point; member removal comes
+        # after, so a crash mid-overwrite leaves an empty federation
+        # plus orphaned directories — never an index pointing at
+        # deleted stores (same discipline as ReplayStore.compact).
+        federation._write_index()
+        for name in old_names:
+            member_dir = root / name
+            if member_dir.is_dir():
+                shutil.rmtree(member_dir)
+        return federation
+
+    @classmethod
+    def open(cls, root: str | Path) -> "FederatedReplayStore":
+        """Load an existing federation from its index."""
+        root = Path(root)
+        index_path = root / FEDERATION_INDEX_NAME
+        if not index_path.exists():
+            raise StoreError(
+                f"no federation at {root} (missing {FEDERATION_INDEX_NAME})"
+            )
+        try:
+            payload = json.loads(index_path.read_text())
+        except json.JSONDecodeError as error:
+            raise StoreError(
+                f"corrupt federation index at {index_path}: {error}"
+            ) from error
+        if payload.get("version") != FEDERATION_VERSION:
+            raise StoreError(
+                f"unsupported federation index version {payload.get('version')!r}"
+            )
+        try:
+            return cls(
+                root,
+                list(payload["members"]),
+                payload["budget_bytes"],
+                payload["policy"],
+                int(payload["seed"]),
+                rebalances=int(payload.get("rebalances", 0)),
+            )
+        except (KeyError, TypeError) as error:
+            raise StoreError(
+                f"malformed federation index at {index_path}: {error}"
+            ) from error
+
+    def configure(
+        self,
+        *,
+        budget_bytes: int | None = None,
+        policy: str | None = None,
+        seed: int | None = None,
+    ) -> None:
+        """Update the budget ledger of an existing federation.
+
+        ``None`` keeps the stored value; explicit values are validated
+        and persisted immediately (the next :meth:`rebalance` enforces
+        them).  This is how ``repro store federate`` retrofits a budget
+        onto a federation created without one.
+        """
+        if budget_bytes is not None:
+            if budget_bytes <= 0:
+                raise StoreError(
+                    f"budget_bytes must be positive, got {budget_bytes}"
+                )
+            self.budget_bytes = int(budget_bytes)
+        if policy is not None:
+            get_policy(policy)  # validate the name
+            self.policy = policy
+        if seed is not None:
+            self.seed = int(seed)
+        self._write_index()
+
+    def _write_index(self) -> None:
+        """Atomically replace the index (write-to-temp + rename)."""
+        payload = {
+            "version": FEDERATION_VERSION,
+            "budget_bytes": self.budget_bytes,
+            "policy": self.policy,
+            "seed": self.seed,
+            "rebalances": self.rebalances,
+            "members": list(self.member_names),
+        }
+        staging = self.root / (FEDERATION_INDEX_NAME + ".tmp")
+        staging.write_text(json.dumps(payload, indent=1) + "\n")
+        staging.replace(self.root / FEDERATION_INDEX_NAME)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def member(self, name: str) -> ReplayStore:
+        """The named member store (opened lazily, cached)."""
+        if name not in self.member_names:
+            raise StoreError(
+                f"{name!r} is not a member of the federation at {self.root}"
+            )
+        if name not in self._members:
+            self._members[name] = ReplayStore.open(self.root / name)
+        return self._members[name]
+
+    def members(self) -> list[tuple[str, ReplayStore]]:
+        """All member stores in registration (task-arrival) order."""
+        return [(name, self.member(name)) for name in self.member_names]
+
+    def adopt(self, name: str) -> ReplayStore:
+        """Register the store at ``root/name`` as the next member.
+
+        The store must already exist (e.g. written by a store-backed NCL
+        step) and must share the federation's latent geometry — a
+        federation composes stores of *one* insertion point, so mixed
+        frame/channel geometry is a caller bug, not a mergeable state.
+        """
+        if not name or "/" in name or "\\" in name or name in (".", ".."):
+            raise StoreError(
+                f"member name must be a plain directory name, got {name!r}"
+            )
+        if name in self.member_names:
+            raise StoreError(f"{name!r} is already a member of the federation")
+        path = self.root / name
+        if not (path / INDEX_NAME).exists():
+            raise StoreError(f"no replay store to adopt at {path}")
+        store = ReplayStore.open(path)
+        if self.member_names:
+            reference = self.member(self.member_names[0])
+            # Insertion layer and generation timesteps are part of the
+            # geometry: stores from different insertion points can share
+            # frame/channel counts (equal-width hidden layers) yet live
+            # in different feature spaces — federating them would serve
+            # semantically mixed replay data with no error.
+            same = (
+                store.meta.stored_frames == reference.meta.stored_frames
+                and store.meta.num_channels == reference.meta.num_channels
+                and store.meta.codec_factor == reference.meta.codec_factor
+                and store.meta.insertion_layer == reference.meta.insertion_layer
+                and store.meta.generated_timesteps
+                == reference.meta.generated_timesteps
+            )
+            if not same:
+                raise StoreError(
+                    f"cannot adopt {name!r}: geometry "
+                    f"(T={store.meta.stored_frames}, "
+                    f"C={store.meta.num_channels}, "
+                    f"factor={store.meta.codec_factor}, "
+                    f"Lins={store.meta.insertion_layer}, "
+                    f"Tgen={store.meta.generated_timesteps}) does not match "
+                    f"the federation's (T={reference.meta.stored_frames}, "
+                    f"C={reference.meta.num_channels}, "
+                    f"factor={reference.meta.codec_factor}, "
+                    f"Lins={reference.meta.insertion_layer}, "
+                    f"Tgen={reference.meta.generated_timesteps})"
+                )
+        self.member_names.append(name)
+        self._members[name] = store
+        self._write_index()
+        return store
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def num_members(self) -> int:
+        return len(self.member_names)
+
+    @property
+    def num_samples(self) -> int:
+        return sum(store.num_samples for _, store in self.members())
+
+    @property
+    def labels(self) -> np.ndarray:
+        """All labels in global arrival order (index-only)."""
+        parts = [store.labels for _, store in self.members()]
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    @property
+    def sample_bytes(self) -> int:
+        """Modelled bytes per stored sample (builder's budget model)."""
+        if not self.member_names:
+            raise StoreError("an empty federation has no sample geometry")
+        meta = self.member(self.member_names[0]).meta
+        packed = BitpackCodec().packed_bytes((meta.stored_frames, meta.num_channels))
+        return packed + SAMPLE_HEADER_BYTES
+
+    def model_bytes(self) -> int:
+        """Modelled federation footprint: ``num_samples * sample_bytes``."""
+        if not self.member_names:
+            return 0
+        return self.num_samples * self.sample_bytes
+
+    def payload_bytes(self) -> int:
+        """Actual codec payload bytes across all members."""
+        return sum(store.payload_bytes() for _, store in self.members())
+
+    def disk_bytes(self) -> int:
+        """On-disk total: member stores plus the federation index."""
+        total = (self.root / FEDERATION_INDEX_NAME).stat().st_size
+        for _, store in self.members():
+            total += store.disk_bytes()
+        return total
+
+    def class_counts(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for label in self.labels:
+            counts[int(label)] = counts.get(int(label), 0) + 1
+        return dict(sorted(counts.items()))
+
+    def stats(self) -> FederationStats:
+        return FederationStats(
+            num_members=self.num_members,
+            num_samples=self.num_samples,
+            sample_bytes=self.sample_bytes if self.member_names else 0,
+            model_bytes=self.model_bytes(),
+            budget_bytes=self.budget_bytes,
+            policy=self.policy,
+            member_samples={
+                name: store.num_samples for name, store in self.members()
+            },
+            class_counts=self.class_counts(),
+        )
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+    def over_budget(self) -> bool:
+        """Whether the modelled footprint currently exceeds the budget."""
+        if self.budget_bytes is None or not self.member_names:
+            return False
+        return self.model_bytes() > self.budget_bytes
+
+    def rebalance(self) -> int:
+        """Enforce the global budget across members; returns evictions.
+
+        Every stored sample is offered — in global arrival order — to a
+        fresh instance of the federation's
+        :class:`~repro.replaystore.policies.EvictionPolicy` at the
+        budget's capacity; survivors keep their member and storage
+        order, losers are evicted via
+        :meth:`~repro.replaystore.store.ReplayStore.filter`.  The pass
+        is index-only until the per-member rewrites, so decision cost
+        never touches shard payloads.  Deterministic: the RNG derives
+        from the federation seed and the rebalance counter.  A no-op
+        (returns 0) when unbudgeted or already within budget.
+        """
+        if not self.over_budget():
+            return 0
+        capacity = self.budget_bytes // self.sample_bytes
+        if capacity < 1:
+            raise StoreError(
+                f"budget of {self.budget_bytes} B holds no sample "
+                f"({self.sample_bytes} B each)"
+            )
+        policy = get_policy(self.policy)
+        policy.reset()
+        rng = spawn(self.seed, f"federation-rebalance:{self.rebalances}")
+
+        # Policy pass over (member, local index) in global arrival order.
+        kept_labels: list[int] = []
+        kept_sources: list[tuple[str, int]] = []
+        for name, store in self.members():
+            for local, label in enumerate(store.labels):
+                slot = policy.admit(int(label), kept_labels, capacity, rng)
+                if slot is None:
+                    continue
+                if slot == len(kept_labels):
+                    kept_labels.append(int(label))
+                    kept_sources.append((name, local))
+                else:
+                    kept_labels[slot] = int(label)
+                    kept_sources[slot] = (name, local)
+
+        # Rewrite each member with its survivors (storage order kept).
+        evicted = 0
+        for name, store in self.members():
+            survivors = np.asarray(
+                sorted(local for member, local in kept_sources if member == name),
+                dtype=np.int64,
+            )
+            evicted += store.filter(survivors)
+        self.rebalances += 1
+        self._write_index()
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Composed view
+    # ------------------------------------------------------------------
+    def stream(
+        self, decompress: bool = False, cache_shards: int = 2
+    ) -> "FederatedReplayStream":
+        """Lazy class-spanning view over every member's samples."""
+        streams = [
+            ReplayStream(store, decompress=decompress, cache_shards=cache_shards)
+            for name, store in self.members()
+            if store.num_samples > 0
+        ]
+        if not streams:
+            raise StoreError(
+                f"federation at {self.root} holds no samples to stream"
+            )
+        return FederatedReplayStream(streams)
+
+    def __repr__(self) -> str:
+        return (
+            f"FederatedReplayStore(root={str(self.root)!r}, "
+            f"members={self.num_members}, policy={self.policy!r}, "
+            f"budget={self.budget_bytes})"
+        )
+
+
+class FederatedReplayStream:
+    """Sample-axis concatenation of member :class:`ReplayStream` views.
+
+    Serves the same lazy-source protocol as a single stream (``shape`` /
+    ``gather`` / ``labels`` / shard iteration), with indices routed to
+    members by global arrival order — so a federation trains exactly
+    like one big store while peak resident memory stays
+    ``cache_shards`` decoded shards *per member stream*.
+    """
+
+    def __init__(self, streams: list[ReplayStream]):
+        if not streams:
+            raise StoreError("FederatedReplayStream needs at least one stream")
+        first = streams[0]
+        for stream in streams[1:]:
+            if (
+                stream.timesteps != first.timesteps
+                or stream.num_channels != first.num_channels
+            ):
+                raise StoreError(
+                    f"member streams disagree on geometry: "
+                    f"[T={first.timesteps}, C={first.num_channels}] vs "
+                    f"[T={stream.timesteps}, C={stream.num_channels}]"
+                )
+        self.streams = list(streams)
+        bounds = np.cumsum([s.num_samples for s in self.streams])
+        self._bounds = np.concatenate([[0], bounds]).astype(np.int64)
+
+    @property
+    def num_samples(self) -> int:
+        return int(self._bounds[-1])
+
+    @property
+    def timesteps(self) -> int:
+        return self.streams[0].timesteps
+
+    @property
+    def num_channels(self) -> int:
+        return self.streams[0].num_channels
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.timesteps, self.num_samples, self.num_channels)
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.concatenate([s.labels for s in self.streams])
+
+    @property
+    def peak_cache_bytes(self) -> int:
+        """Upper bound on decoded-shard residency across member streams.
+
+        Member LRU caches are resident *simultaneously*, so the
+        federated high-water mark is the sum of the members' peaks (a
+        bound, not an exact joint maximum: members need not peak at the
+        same instant).
+        """
+        return sum(s.peak_cache_bytes for s in self.streams)
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Decode the requested samples into a ``[T, k, C]`` raster.
+
+        Behaves exactly like fancy indexing on the member-concatenated
+        dense array (duplicates and arbitrary order included).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise StoreError(f"indices must be 1-D, got shape {indices.shape}")
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self.num_samples
+        ):
+            raise StoreError(
+                f"indices out of range [0, {self.num_samples}) "
+                f"(got [{indices.min()}, {indices.max()}])"
+            )
+        out = np.empty(
+            (self.timesteps, indices.size, self.num_channels), dtype=np.float32
+        )
+        member_of = np.searchsorted(self._bounds, indices, side="right") - 1
+        for member in np.unique(member_of):
+            mask = member_of == member
+            local = indices[mask] - self._bounds[member]
+            out[:, mask, :] = self.streams[int(member)].gather(local)
+        return out
+
+    def __iter__(self):
+        """Yield ``(raster, labels)`` shard by shard across members."""
+        for stream in self.streams:
+            yield from stream
+
+    def materialize(self) -> np.ndarray:
+        """Densify the whole federation (tests/small stores only)."""
+        return self.gather(np.arange(self.num_samples))

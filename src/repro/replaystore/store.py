@@ -329,6 +329,89 @@ class ReplayStore:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    def filter(self, keep: np.ndarray) -> int:
+        """Keep only the samples at global indices ``keep``; returns evictions.
+
+        ``keep`` indexes the store's global sample order (storage order,
+        the order :attr:`labels` uses); kept samples preserve that order.
+        This is the eviction primitive of cross-store rebalancing: a
+        federation decides *which* samples survive, ``filter`` rewrites
+        the shard set to hold exactly those.  Streams shard-by-shard like
+        :meth:`compact` and shares its crash-safety: new-generation files
+        first, atomic index rename as the commit point, old files removed
+        last.  Filtering to the full index set is a no-op (no rewrite).
+        """
+        keep = np.asarray(keep, dtype=np.int64)
+        if keep.ndim != 1:
+            raise StoreError(f"keep indices must be 1-D, got shape {keep.shape}")
+        total = self.num_samples
+        if keep.size:
+            if keep.min() < 0 or keep.max() >= total:
+                raise StoreError(
+                    f"keep indices out of range [0, {total}) "
+                    f"(got [{keep.min()}, {keep.max()}])"
+                )
+            if np.any(np.diff(keep) <= 0):
+                raise StoreError("keep indices must be strictly increasing")
+        if keep.size == total:
+            return 0
+        evicted = total - int(keep.size)
+        target = self.meta.shard_samples
+        old_files = [self.root / s.file for s in self.shards]
+        generation = self.generation + 1
+
+        staged: list[ShardInfo] = []
+        pending_raster: list[np.ndarray] = []
+        pending_labels: list[np.ndarray] = []
+        pending = 0
+
+        def flush(force: bool) -> None:
+            nonlocal pending
+            while pending >= target or (force and pending > 0):
+                raster = np.concatenate(pending_raster, axis=1)
+                labels = np.concatenate(pending_labels)
+                take = min(target, raster.shape[1])
+                blob = encode_shard(raster[:, :take, :], labels[:take])
+                header = peek_header(blob)
+                name = f"shard-g{generation:03d}-{len(staged):05d}.bin"
+                (self.root / name).write_bytes(blob)
+                staged.append(
+                    ShardInfo(
+                        file=name,
+                        num_samples=header.num_samples,
+                        codec=header.codec,
+                        payload_bytes=header.payload_bytes,
+                        payload_offset=len(blob) - header.payload_bytes,
+                        labels=[int(v) for v in labels[:take]],
+                    )
+                )
+                pending_raster[:] = (
+                    [raster[:, take:, :]] if take < raster.shape[1] else []
+                )
+                pending_labels[:] = [labels[take:]] if take < labels.shape[0] else []
+                pending -= take
+
+        offset = 0
+        for shard_id in range(len(self.shards)):
+            count = self.shards[shard_id].num_samples
+            local = keep[(keep >= offset) & (keep < offset + count)] - offset
+            offset += count
+            if local.size == 0:
+                continue
+            raster, labels = self.read_shard(shard_id)
+            pending_raster.append(raster[:, local, :])
+            pending_labels.append(labels[local])
+            pending += int(local.size)
+            flush(force=False)
+        flush(force=True)
+
+        self.shards = staged
+        self.generation = generation
+        self._write_index()  # atomic rename: the commit point
+        for path in old_files:
+            path.unlink(missing_ok=True)
+        return evicted
+
     def compact(self, shard_samples: int | None = None) -> int:
         """Rewrite all shards at uniform occupancy; returns the new count.
 

@@ -61,6 +61,11 @@ class ReplayStream:
         self._codec = TemporalSubsampleCodec(store.meta.codec_factor)
         self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
         self.shard_decodes = 0
+        #: High-water mark of decoded bytes resident in the LRU cache —
+        #: the measured peak replay memory (eviction happens *before*
+        #: each decode is admitted, so residency never exceeds
+        #: ``cache_shards`` decoded shards).
+        self.peak_cache_bytes = 0
         # Snapshot of the shard table at construction: the stream's
         # index->shard mapping and decode cache are only valid against
         # this exact table, so a mutated store must fail loudly rather
@@ -111,6 +116,8 @@ class ReplayStream:
             self._cache.move_to_end(shard_id)
             return self._cache[shard_id]
         self._check_not_stale()
+        while len(self._cache) >= self.cache_shards:
+            self._cache.popitem(last=False)
         raster, _ = self.store.read_shard(shard_id)
         if self.decompress:
             raster = self._codec.decompress(
@@ -118,8 +125,9 @@ class ReplayStream:
             )
         self.shard_decodes += 1
         self._cache[shard_id] = raster
-        while len(self._cache) > self.cache_shards:
-            self._cache.popitem(last=False)
+        resident = sum(int(r.nbytes) for r in self._cache.values())
+        if resident > self.peak_cache_bytes:
+            self.peak_cache_bytes = resident
         return raster
 
     def gather(self, indices: np.ndarray) -> np.ndarray:
@@ -144,7 +152,14 @@ class ReplayStream:
             (self.timesteps, indices.size, self.num_channels), dtype=np.float32
         )
         shard_of = np.searchsorted(self._bounds, indices, side="right") - 1
-        for shard_id in np.unique(shard_of):
+        # Serve cached shards first: a cold decode evicts the LRU tail,
+        # so touching warm shards before any eviction can reach them
+        # keeps a prefetched (or recently used) shard from being thrown
+        # away unread.  Output is written by mask position, so the
+        # processing order never changes the result.
+        needed = np.unique(shard_of)
+        ordered = sorted(needed, key=lambda s: (int(s) not in self._cache, s))
+        for shard_id in ordered:
             raster = self._decoded(int(shard_id))
             mask = shard_of == shard_id
             cols = indices[mask] - self._bounds[shard_id]
@@ -214,3 +229,20 @@ class ConcatReplaySource:
         if np.any(~from_dense):
             out[:, ~from_dense, :] = self.stream.gather(indices[~from_dense] - split)
         return out
+
+    def prefetch(self, indices: np.ndarray) -> int:
+        """Advise the replay half that ``indices`` are needed soon.
+
+        Forwarded to the stream's ``prefetch`` when it has one (e.g. a
+        :class:`~repro.replaystore.prefetch.PrefetchingStream`); the
+        dense half needs no warm-up.  Returns the number of shard decode
+        requests actually queued (0 when the stream cannot prefetch).
+        """
+        hook = getattr(self.stream, "prefetch", None)
+        if hook is None:
+            return 0
+        indices = np.asarray(indices, dtype=np.int64)
+        replay = indices[indices >= self.dense.shape[1]] - self.dense.shape[1]
+        if replay.size == 0:
+            return 0
+        return int(hook(replay))

@@ -66,6 +66,61 @@ class TestGeneration:
         np.testing.assert_array_equal(a.compressed, b.compressed)
 
 
+class TestGenerateIntoStore:
+    def test_matches_dense_generation(self, ci_pretrained, ci_split, tmp_path):
+        replay = ci_split.pretrain_train.sample_fraction(
+            0.5, np.random.default_rng(0)
+        )
+        dense = LatentReplayBuffer.generate(
+            ci_pretrained.network, replay, insertion_layer=2, timesteps=12
+        )
+        store, trace = LatentReplayBuffer.generate_into_store(
+            ci_pretrained.network,
+            replay,
+            tmp_path / "store",
+            insertion_layer=2,
+            timesteps=12,
+            shard_samples=3,
+        )
+        streamed = LatentReplayBuffer.from_store(store)
+        np.testing.assert_array_equal(streamed.compressed, dense.compressed)
+        np.testing.assert_array_equal(streamed.labels, dense.labels)
+        # Per-chunk trace accumulation covers the whole subset.
+        assert len(trace.entries) == 2
+        assert all(e.batch == len(replay) for e in trace.entries)
+
+    def test_out_of_range_insertion_rejected(
+        self, ci_pretrained, ci_split, tmp_path
+    ):
+        # Regression: the streaming branch must validate insertion_layer
+        # like the dense path instead of silently truncating the slice.
+        from repro.errors import SplitError
+
+        replay = ci_split.pretrain_train.sample_fraction(
+            0.5, np.random.default_rng(0)
+        )
+        with pytest.raises(SplitError, match="out of range"):
+            LatentReplayBuffer.generate_into_store(
+                ci_pretrained.network,
+                replay,
+                tmp_path / "store",
+                insertion_layer=99,
+                timesteps=12,
+            )
+        assert not (tmp_path / "store").exists()  # nothing half-written
+
+    def test_empty_replay_rejected(self, ci_pretrained, ci_split, tmp_path):
+        empty = ci_split.pretrain_train.subset([])
+        with pytest.raises(ConfigError, match="empty"):
+            LatentReplayBuffer.generate_into_store(
+                ci_pretrained.network,
+                empty,
+                tmp_path / "store",
+                insertion_layer=2,
+                timesteps=12,
+            )
+
+
 class TestMaterialize:
     def test_decompress_restores_timesteps(self, buffer_and_inputs, ci_preset):
         buffer, _ = buffer_and_inputs

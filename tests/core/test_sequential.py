@@ -5,10 +5,31 @@ import pytest
 
 from repro.core import Replay4NCL, make_sequential_splits, run_sequential
 from repro.core.pipeline import pretrain
+from repro.core.sequential import SequentialResult
+from repro.core.strategies import EpochCost, NCLResult
 from repro.data.synthetic_shd import SyntheticSHD
 from repro.data.tasks import make_class_incremental
 from repro.errors import DataError
 from repro.eval.scale import get_scale
+from repro.training.metrics import TrainingHistory
+
+
+def _result_without_network() -> NCLResult:
+    """A syntactically complete NCLResult whose network was dropped."""
+    return NCLResult(
+        method="stub",
+        insertion_layer=0,
+        timesteps=4,
+        history=TrainingHistory(),
+        final_old_accuracy=0.0,
+        final_new_accuracy=0.0,
+        final_overall_accuracy=0.0,
+        latent_storage_bytes=0,
+        latent_stored_frames=0,
+        epoch_costs=[],
+        prepare_cost=EpochCost(),
+        network=None,
+    )
 
 
 @pytest.fixture(scope="module")
@@ -53,6 +74,36 @@ class TestMakeSequentialSplits:
         with pytest.raises(DataError):
             make_sequential_splits(generator, 4, 2, base_classes=0, steps=1)
 
+    def test_boundary_validation(self, scenario):
+        # Every non-positive extent must fail loudly, and the scenario
+        # that uses *exactly* the generator's class count must pass.
+        _, _, generator, _, _ = scenario
+        num_classes = generator.config.num_classes
+        with pytest.raises(DataError, match="must be positive"):
+            make_sequential_splits(generator, 4, 2, base_classes=3, steps=0)
+        with pytest.raises(DataError, match="must be positive"):
+            make_sequential_splits(
+                generator, 4, 2, base_classes=3, steps=1, classes_per_step=0
+            )
+        with pytest.raises(DataError, match=f"needs {num_classes + 1} classes"):
+            make_sequential_splits(
+                generator, 4, 2, base_classes=num_classes - 1, steps=2
+            )
+        exact = make_sequential_splits(
+            generator, 4, 2, base_classes=num_classes - 2, steps=2
+        )
+        assert exact[-1].new_classes == (num_classes - 1,)
+
+    def test_multi_class_steps_layout(self, scenario):
+        _, _, generator, _, _ = scenario
+        splits = make_sequential_splits(
+            generator, 4, 2, base_classes=1, steps=2, classes_per_step=2
+        )
+        assert splits[0].old_classes == (0,)
+        assert splits[0].new_classes == (1, 2)
+        assert splits[1].old_classes == (0, 1, 2)
+        assert splits[1].new_classes == (3, 4)
+
 
 class TestRunSequential:
     @pytest.fixture(scope="class")
@@ -94,3 +145,48 @@ class TestRunSequential:
         _, exp, _, pretrained, _ = scenario
         with pytest.raises(DataError):
             run_sequential(lambda k: Replay4NCL(exp), pretrained.network, [])
+
+
+class TestErrorPaths:
+    def test_final_network_raises_when_network_missing(self):
+        # Regression: SequentialResult.final_network must refuse to hand
+        # back None when the last step carries no trained network.
+        result = SequentialResult(steps=(_result_without_network(),))
+        with pytest.raises(DataError, match="carries no network"):
+            result.final_network
+
+    def test_run_sequential_rejects_networkless_method(self, scenario):
+        _, _, _, pretrained, splits = scenario
+
+        class NetworklessMethod:
+            def run(self, network, split, **kwargs):
+                return _result_without_network()
+
+        with pytest.raises(DataError, match="did not return"):
+            run_sequential(
+                lambda k: NetworklessMethod(), pretrained.network, splits[:1]
+            )
+
+    def test_accepts_pretrain_result(self, scenario):
+        # Regression: run_sequential must unwrap a PretrainResult the
+        # way run_method does (the README workflow passes one).
+        _, _, _, pretrained, splits = scenario
+        received = []
+
+        class Recorder:
+            def run(self, network, split, **kwargs):
+                received.append(network)
+                result = _result_without_network()
+                result.network = network
+                return result
+
+        run_sequential(lambda k: Recorder(), pretrained, splits[:1])
+        assert received == [pretrained.network]
+
+    def test_trajectories_still_exposed_without_network(self):
+        # The accuracy trajectories are index-only: they must survive a
+        # networkless step even though final_network raises.
+        result = SequentialResult(steps=(_result_without_network(),))
+        assert result.old_accuracy_trajectory == (0.0,)
+        assert result.new_accuracy_trajectory == (0.0,)
+        assert result.store_root is None

@@ -95,6 +95,68 @@ class TestClassBalanced:
         assert a == b
 
 
+class TestSeedSweep:
+    """Policy invariants must hold for *every* seed, not the lucky one.
+
+    The deterministic tests above pin one RNG draw each; these sweep a
+    handful of seeds so reservoir/class-balanced guarantees are
+    properties of the algorithm, not artefacts of a particular stream
+    of random numbers.
+    """
+
+    SEEDS = [0, 1, 7, 13, 101]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("name", ["fifo", "reservoir", "class-balanced"])
+    def test_capacity_respected_and_labels_from_stream(self, name, seed):
+        labels = np.random.default_rng(seed).integers(0, 6, 80).tolist()
+        kept = _drive(get_policy(name), labels, capacity=12, seed=seed)
+        assert len(kept) == 12
+        stream_counts = {c: labels.count(c) for c in set(labels)}
+        for c in set(kept):
+            assert kept.count(c) <= stream_counts[c]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_under_capacity_keeps_everything(self, seed):
+        labels = np.random.default_rng(seed).integers(0, 3, 9).tolist()
+        for name in ("fifo", "reservoir", "class-balanced"):
+            assert _drive(get_policy(name), labels, capacity=20, seed=seed) == labels
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reservoir_deterministic_and_reset_clean(self, seed):
+        policy = ReservoirPolicy()
+        first = _drive(policy, range(60), capacity=9, seed=seed)
+        again = _drive(policy, range(60), capacity=9, seed=seed)  # reset() path
+        fresh = _drive(ReservoirPolicy(), range(60), capacity=9, seed=seed)
+        assert first == again == fresh
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_class_balanced_spread_on_round_robin(self, seed):
+        # Equal interleaved arrivals: per-class counts may never drift
+        # further than one apart, whatever the eviction draws do.
+        labels = list(range(4)) * 15
+        kept = _drive(ClassBalancedPolicy(), labels, capacity=10, seed=seed)
+        counts = [kept.count(c) for c in range(4)]
+        assert sum(counts) == 10
+        assert max(counts) - min(counts) <= 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_class_balanced_minority_floor(self, seed):
+        # A class with >= capacity//num_classes arrivals keeps at least
+        # that many slots under skewed pressure (no starvation).
+        labels = [0] * 40 + [1] * 4 + [0] * 40
+        kept = _drive(ClassBalancedPolicy(), labels, capacity=8, seed=seed)
+        assert kept.count(1) == 4
+        assert len(kept) == 8
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_class_balanced_never_goes_extinct(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.permutation([0] * 50 + [1] * 8 + [2] * 8).tolist()
+        kept = _drive(ClassBalancedPolicy(), labels, capacity=9, seed=seed)
+        assert set(kept) == {0, 1, 2}
+
+
 class TestRegistry:
     @pytest.mark.parametrize("name", ["fifo", "reservoir", "class-balanced"])
     def test_get_policy(self, name):

@@ -1,0 +1,193 @@
+"""Tests for PrefetchingStream: parity, shutdown, error propagation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import DataLoader
+from repro.errors import StoreError
+from repro.replaystore import (
+    ConcatReplaySource,
+    PrefetchingStream,
+    ReplayStore,
+    ReplayStream,
+    prefetch_enabled,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    rng = np.random.default_rng(0)
+    raster = (rng.random((10, 30, 14)) < 0.2).astype(np.float32)
+    labels = rng.integers(0, 5, 30)
+    store = ReplayStore.create(
+        tmp_path / "store",
+        stored_frames=10,
+        num_channels=14,
+        generated_timesteps=10,
+        shard_samples=6,
+    )
+    store.append(raster, labels)
+    return store
+
+
+def wait_until(predicate, timeout=5.0):
+    """Poll ``predicate`` until true (threaded tests need slack, not sleep)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestKillSwitch:
+    def test_env_disables(self, monkeypatch):
+        for value in ("0", "false", "OFF"):
+            monkeypatch.setenv("REPRO_PREFETCH", value)
+            assert not prefetch_enabled()
+        monkeypatch.setenv("REPRO_PREFETCH", "1")
+        assert prefetch_enabled()
+        monkeypatch.delenv("REPRO_PREFETCH")
+        assert prefetch_enabled()
+
+    def test_disabled_instance_spawns_no_thread(self, store, monkeypatch):
+        monkeypatch.setenv("REPRO_PREFETCH", "0")
+        with PrefetchingStream(ReplayStream(store)) as view:
+            assert not view.enabled
+            assert view._worker is None
+            assert view.prefetch(np.arange(5)) == 0
+            assert view.gather(np.arange(5)).shape == (10, 5, 14)
+
+
+class TestParity:
+    def test_bitwise_parity_on_vs_off(self, store):
+        on = PrefetchingStream(ReplayStream(store), enabled=True)
+        off = PrefetchingStream(ReplayStream(store), enabled=False)
+        rng = np.random.default_rng(7)
+        with on, off:
+            for _ in range(12):
+                batch = rng.integers(0, store.num_samples, 8)
+                on.prefetch(batch)
+                np.testing.assert_array_equal(on.gather(batch), off.gather(batch))
+            np.testing.assert_array_equal(on.labels, off.labels)
+            np.testing.assert_array_equal(on.materialize(), off.materialize())
+
+    def test_iteration_matches_plain_stream(self, store):
+        plain = list(ReplayStream(store))
+        with PrefetchingStream(ReplayStream(store), enabled=True) as view:
+            for (raster, labels), (p_raster, p_labels) in zip(view, plain):
+                np.testing.assert_array_equal(raster, p_raster)
+                np.testing.assert_array_equal(labels, p_labels)
+
+    def test_passthrough_protocol(self, store):
+        stream = ReplayStream(store)
+        with PrefetchingStream(stream, enabled=True) as view:
+            assert view.shape == stream.shape
+            assert view.num_samples == stream.num_samples
+            assert view.timesteps == stream.timesteps
+            assert view.num_channels == stream.num_channels
+            view.gather(np.arange(7))
+            assert view.peak_cache_bytes == stream.peak_cache_bytes > 0
+
+
+class TestWarmup:
+    def test_prefetch_warms_the_cache(self, store):
+        with PrefetchingStream(ReplayStream(store), enabled=True) as view:
+            queued = view.prefetch(np.asarray([0]))
+            assert queued == 1
+            assert wait_until(lambda: view.prefetched_shards == 1)
+            decodes_before = view.stream.shard_decodes
+            view.gather(np.asarray([0, 1, 2]))  # all shard 0: already warm
+            assert view.stream.shard_decodes == decodes_before
+
+    def test_cached_shards_not_requeued(self, store):
+        with PrefetchingStream(ReplayStream(store), enabled=True) as view:
+            view.gather(np.asarray([0]))  # shard 0 now cached
+            assert view.prefetch(np.asarray([0])) == 0
+
+    def test_queue_bound_drops_excess(self, store):
+        # 5 shards, queue bound 1: at most 1 request queued per call.
+        with PrefetchingStream(
+            ReplayStream(store, cache_shards=1), queue_shards=1, enabled=True
+        ) as view:
+            queued = view.prefetch(np.arange(store.num_samples))
+            assert queued <= 1
+
+    def test_bad_queue_bound_rejected(self, store):
+        with pytest.raises(StoreError, match="queue_shards"):
+            PrefetchingStream(ReplayStream(store), queue_shards=0)
+
+
+class TestShutdown:
+    def test_close_is_idempotent_and_keeps_serving(self, store):
+        view = PrefetchingStream(ReplayStream(store), enabled=True)
+        view.close()
+        view.close()
+        assert view.gather(np.arange(4)).shape == (10, 4, 14)
+        assert view.prefetch(np.arange(4)) == 0  # advisory no-op after close
+
+    def test_context_manager_joins_worker(self, store):
+        with PrefetchingStream(ReplayStream(store), enabled=True) as view:
+            view.prefetch(np.arange(store.num_samples))
+        assert not view._worker.is_alive()
+
+    def test_worker_exception_propagates(self, store):
+        view = PrefetchingStream(ReplayStream(store), enabled=True)
+        # Sabotage the backing file of an uncached shard, then ask the
+        # worker to decode it: the failure must surface on the caller's
+        # side, not vanish into the background thread.
+        (store.root / store.shards[4].file).unlink()
+        view.prefetch(np.asarray([store.num_samples - 1]))  # inside shard 4
+        assert wait_until(lambda: view._error is not None)
+        with pytest.raises(StoreError, match="prefetch worker failed"):
+            view.gather(np.asarray([0]))
+        with pytest.raises(StoreError, match="prefetch worker failed"):
+            view.prefetch(np.asarray([0]))
+        view.close()  # shutdown after a worker death must not hang
+
+
+class TestLoaderIntegration:
+    def test_loader_prefetches_and_matches_dense(self, store):
+        dense_new = (
+            np.random.default_rng(3).random((10, 9, 14)) < 0.3
+        ).astype(np.float32)
+        new_labels = np.arange(9)
+        reference = np.concatenate(
+            [dense_new, ReplayStream(store).materialize()], axis=1
+        )
+        all_labels = np.concatenate([new_labels, store.labels])
+
+        def batches(view):
+            loader = DataLoader(
+                view,
+                all_labels,
+                batch_size=8,
+                shuffle=True,
+                rng=np.random.default_rng(11),
+            )
+            return list(loader)
+
+        with PrefetchingStream(ReplayStream(store), enabled=True) as replay:
+            lazy = batches(ConcatReplaySource(dense_new, replay))
+        dense = batches(reference)
+        for (lx, ly), (dx, dy) in zip(lazy, dense):
+            np.testing.assert_array_equal(lx, dx)
+            np.testing.assert_array_equal(ly, dy)
+
+    def test_concat_source_forwards_prefetch(self, store):
+        dense_new = np.zeros((10, 4, 14), dtype=np.float32)
+        with PrefetchingStream(ReplayStream(store), enabled=True) as replay:
+            source = ConcatReplaySource(dense_new, replay)
+            # Dense-only indices: nothing to warm.
+            assert source.prefetch(np.arange(4)) == 0
+            # Replay indices route through to the worker queue.
+            assert source.prefetch(np.asarray([4])) == 1
+            assert wait_until(lambda: replay.prefetched_shards == 1)
+
+    def test_plain_stream_has_no_prefetch_hook(self, store):
+        source = ConcatReplaySource(
+            np.zeros((10, 2, 14), dtype=np.float32), ReplayStream(store)
+        )
+        assert source.prefetch(np.asarray([2, 5])) == 0

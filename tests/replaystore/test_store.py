@@ -185,3 +185,44 @@ class TestCompact:
     def test_rejects_bad_target(self, store):
         with pytest.raises(StoreError):
             store.compact(shard_samples=0)
+
+
+class TestFilter:
+    def test_keeps_exactly_the_requested_samples(self, store, raster, labels):
+        keep = np.asarray([0, 3, 7, 8, 15, 22])
+        assert store.filter(keep) == 23 - 6
+        assert store.num_samples == 6
+        np.testing.assert_array_equal(store.labels, labels[keep])
+        decoded = np.concatenate(
+            [store.read_shard(i)[0] for i in range(store.num_shards)], axis=1
+        )
+        np.testing.assert_array_equal(decoded, raster[:, keep, :])
+
+    def test_keep_all_is_a_noop(self, store):
+        generation = store.generation
+        assert store.filter(np.arange(23)) == 0
+        assert store.generation == generation  # no rewrite happened
+
+    def test_filter_to_empty(self, store):
+        assert store.filter(np.asarray([], dtype=np.int64)) == 23
+        assert store.num_samples == 0
+        assert not list(store.root.glob("shard-*.bin"))
+        assert ReplayStore.open(store.root).num_samples == 0
+
+    def test_persists_and_repacks_shards(self, store, labels):
+        keep = np.arange(0, 23, 2)  # 12 survivors at shard_samples=8
+        store.filter(keep)
+        reopened = ReplayStore.open(store.root)
+        assert [s.num_samples for s in reopened.shards] == [8, 4]
+        np.testing.assert_array_equal(reopened.labels, labels[keep])
+        assert reopened.generation == 1
+
+    def test_validates_indices(self, store):
+        with pytest.raises(StoreError, match="out of range"):
+            store.filter(np.asarray([23]))
+        with pytest.raises(StoreError, match="strictly increasing"):
+            store.filter(np.asarray([3, 3]))
+        with pytest.raises(StoreError, match="strictly increasing"):
+            store.filter(np.asarray([5, 2]))
+        with pytest.raises(StoreError, match="1-D"):
+            store.filter(np.zeros((2, 2), dtype=np.int64))

@@ -91,3 +91,79 @@ class TestStoreCommands:
     def test_missing_store_is_clean_error(self, capsys, tmp_path):
         assert main(["store", "stats", str(tmp_path / "nope")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestStoreFederate:
+    @pytest.fixture
+    def federation_root(self, tmp_path):
+        from repro.replaystore import ReplayStore
+
+        rng = np.random.default_rng(0)
+        root = tmp_path / "fed"
+        for k in range(2):
+            store = ReplayStore.create(
+                root / f"task-{k}",
+                stored_frames=10,
+                num_channels=8,
+                generated_timesteps=10,
+                shard_samples=4,
+            )
+            store.append(
+                (rng.random((10, 9, 8)) < 0.2).astype(np.float32),
+                np.full(9, k),
+            )
+        return str(root)
+
+    def test_federate_discovers_and_adopts(self, capsys, federation_root):
+        assert main(["store", "federate", federation_root]) == 0
+        out = capsys.readouterr().out
+        assert "adopted task-0 (9 samples)" in out
+        assert "adopted task-1 (9 samples)" in out
+        assert "samples:        18" in out
+
+    def test_federate_with_budget_rebalances(self, capsys, federation_root):
+        assert main(
+            ["store", "federate", federation_root, "--budget-bytes", "280"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "budget:" in out and "evicted this pass" in out
+
+    def test_federate_is_rerunnable(self, capsys, federation_root):
+        assert main(["store", "federate", federation_root]) == 0
+        capsys.readouterr()
+        # Second invocation reopens the index and finds nothing new.
+        assert main(["store", "federate", federation_root]) == 0
+        out = capsys.readouterr().out
+        assert "adopted" not in out
+        assert "members=2" in out
+
+    def test_explicit_member_list(self, capsys, federation_root):
+        assert main(
+            ["store", "federate", federation_root, "--members", "task-1"]
+        ) == 0
+        assert "adopted task-1" in capsys.readouterr().out
+
+    def test_unknown_policy_is_clean_error(self, capsys, federation_root):
+        assert main(
+            ["store", "federate", federation_root, "--policy", "lru"]
+        ) == 2
+        assert "unknown eviction policy" in capsys.readouterr().err
+
+    def test_budget_retrofits_onto_existing_federation(
+        self, capsys, federation_root
+    ):
+        # Regression: flags passed on a re-run must update the stored
+        # ledger, not be silently discarded in favour of the old one.
+        assert main(["store", "federate", federation_root]) == 0
+        capsys.readouterr()
+        assert main(
+            ["store", "federate", federation_root, "--budget-bytes", "280"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "budget:" in out
+        assert "0 evicted this pass" not in out  # the new cap forced eviction
+        from repro.replaystore import FederatedReplayStore
+
+        federation = FederatedReplayStore.open(federation_root)
+        assert federation.budget_bytes == 280
+        assert not federation.over_budget()
