@@ -97,7 +97,7 @@ def sequential_scenario():
 
 
 def _bench_sequential(benchmark, sequential_scenario, tmp_path, prefetch):
-    from repro.core import Replay4NCL
+    from repro.core import Replay4NCL, ReplaySpec
     from repro.core.sequential import run_sequential
 
     exp, network, splits = sequential_scenario
@@ -109,9 +109,7 @@ def _bench_sequential(benchmark, sequential_scenario, tmp_path, prefetch):
             lambda k: Replay4NCL(exp),
             network,
             splits,
-            store_root=root,
-            store_shard_samples=8,
-            prefetch=prefetch,
+            replay=ReplaySpec(store_dir=root, shard_samples=8, prefetch=prefetch),
         )
 
     result = benchmark(step)

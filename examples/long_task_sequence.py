@@ -24,7 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import Replay4NCL, make_sequential_splits, run_sequential
+from repro.core import Replay4NCL, ReplaySpec, make_sequential_splits, run_sequential
 from repro.core.pipeline import pretrain
 from repro.data import SyntheticSHD, make_class_incremental
 from repro.eval.scale import get_scale
@@ -60,8 +60,7 @@ def federated_run(exp, network, splits, workdir: Path):
         lambda k: Replay4NCL(exp),
         network,
         splits,
-        store_root=workdir / "federation",
-        store_shard_samples=4,
+        replay=ReplaySpec(store_dir=workdir / "federation", shard_samples=4),
     )
     print(result.describe())
     federation = FederatedReplayStore.open(result.store_root)
@@ -95,10 +94,12 @@ def budgeted_run(exp, network, splits, workdir: Path, reference):
         lambda k: Replay4NCL(exp),
         network,
         splits,
-        store_root=workdir / "budgeted",
-        store_shard_samples=4,
-        federation_budget_bytes=budget,
-        federation_policy="class-balanced",
+        replay=ReplaySpec(
+            store_dir=workdir / "budgeted",
+            shard_samples=4,
+            federation_budget_bytes=budget,
+            federation_policy="class-balanced",
+        ),
     )
     federation = FederatedReplayStore.open(result.store_root)
     stats = federation.stats()
@@ -123,9 +124,9 @@ def prefetch_parity(exp, network, splits, workdir: Path, reference):
         lambda k: Replay4NCL(exp),
         network,
         splits,
-        store_root=workdir / "no-prefetch",
-        store_shard_samples=4,
-        prefetch=False,
+        replay=ReplaySpec(
+            store_dir=workdir / "no-prefetch", shard_samples=4, prefetch=False
+        ),
     )
     identical = all(
         np.array_equal(p.data, q.data)

@@ -18,7 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import Replay4NCL, pretrain, run_method
+from repro.core import Replay4NCL, ReplaySpec, pretrain, run_method
 from repro.data import SyntheticSHD, make_class_incremental
 from repro.eval.scale import get_scale
 from repro.hw.memory import audit_store
@@ -27,7 +27,6 @@ from repro.replaystore import StreamingStoreBuilder, get_policy
 
 def streaming_budget_demo(workdir: Path) -> None:
     """Stream 600 skewed task arrivals through a 12 KiB budget."""
-    rng = np.random.default_rng(0)
     frames, channels = 40, 48
     print(f"streaming 600 arrivals of [{frames} x {channels}] latent rasters")
     print("class skew 10:3:1, budget 12 KiB\n")
@@ -89,8 +88,7 @@ def store_backed_ncl(workdir: Path) -> None:
         Replay4NCL(experiment),
         pretrained,
         split,
-        replay_store_dir=workdir / "ncl-store",
-        store_shard_samples=4,
+        replay=ReplaySpec(store_dir=workdir / "ncl-store", shard_samples=4),
     )
     print("store-backed Replay4NCL (ci scale):")
     print(f"  in-memory:    {in_memory.summary()}")

@@ -1,22 +1,24 @@
 """Multi-step continual learning: a stream of new classes.
 
 The paper evaluates one continual step (19 classes -> +1); a deployed
-agent keeps encountering new classes.  This example chains Replay4NCL
-steps — each starting from the previous step's network, with the replay
-pool regenerated to cover everything seen so far — and reports how
-old-task accuracy holds up as forgetting pressure compounds.
+agent keeps encountering new classes.  The ``sequential`` scenario
+chains Replay4NCL steps — each starting from the previous step's
+network, with the replay pool regenerated to cover everything seen so
+far — and ``run_scenario`` scores the whole trajectory with the
+standard continual-learning metrics (average accuracy, forgetting,
+backward transfer) on the session-by-task accuracy matrix.
 
 Run:  python examples/sequential_adaptation.py [--steps N]
 """
 
 import argparse
 
-from repro.core import Replay4NCL, make_sequential_splits, run_sequential
-from repro.core.pipeline import pretrain
-from repro.data import SyntheticSHD
-from repro.data.tasks import make_class_incremental
+import numpy as np
+
 from repro.eval.ascii_plot import ascii_bars
 from repro.eval.scale import get_scale
+from repro.scenario import get as get_scenario
+from repro.scenario import run_scenario
 
 
 def main() -> None:
@@ -26,34 +28,18 @@ def main() -> None:
                              "3 base + up to 2 steps)")
     args = parser.parse_args()
 
-    preset = get_scale("ci")
-    base_classes = preset.shd.num_classes - args.steps
-    if base_classes < 2:
+    num_classes = get_scale("ci").shd.num_classes
+    if num_classes - args.steps < 2:
         raise SystemExit("too many steps for the ci class count")
 
-    experiment = preset.experiment.replace(num_pretrain_classes=base_classes)
-    generator = SyntheticSHD(preset.shd, seed=experiment.seed)
-
-    print(f"pre-training on classes 0..{base_classes - 1}")
-    base_split = make_class_incremental(
-        generator,
-        experiment.samples_per_class,
-        experiment.test_samples_per_class,
-        num_pretrain_classes=base_classes,
-    )
-    pretrained = pretrain(experiment, base_split)
-    print(f"  base accuracy: {pretrained.test_accuracy:.3f}\n")
-
-    splits = make_sequential_splits(
-        generator,
-        experiment.samples_per_class,
-        experiment.test_samples_per_class,
-        base_classes=base_classes,
-        steps=args.steps,
-    )
-    print(f"learning {args.steps} new classes sequentially with Replay4NCL")
-    result = run_sequential(lambda k: Replay4NCL(experiment), pretrained.network, splits)
+    scenario = get_scenario("sequential", steps_count=args.steps)
+    print(f"running scenario: {scenario.describe()}")
+    result = run_scenario(scenario, "replay4ncl", scale="ci")
     print(result.describe())
+
+    print("\nsession-by-task accuracy matrix (rows: after each session):")
+    with np.printoptions(precision=3, nanstr="  -  "):
+        print(result.accuracy_matrix)
 
     print("\nold-task accuracy after each step (forgetting accumulation):")
     print(ascii_bars({

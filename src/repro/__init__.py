@@ -15,7 +15,12 @@ scratch on numpy:
   replay-memory engine (sharded on-disk latent buffers).
 - :mod:`repro.training` — optimizers, losses, BPTT trainer, metrics.
 - :mod:`repro.core` — the NCL methods: naive fine-tuning, the SpikingLR
-  state-of-the-art comparator, and Replay4NCL itself.
+  state-of-the-art comparator, and Replay4NCL itself; replay
+  persistence is configured through one validated ``ReplaySpec``.
+- :mod:`repro.scenario` — scenario-first continual learning: a registry
+  of lazily-materialised scenarios (single-step, sequential,
+  domain-incremental, blurry) and the ``run_scenario`` entry point with
+  standard CL metrics.
 - :mod:`repro.hw` — analytic latency/energy/latent-memory models for
   embedded neuromorphic targets.
 - :mod:`repro.eval` — one experiment per paper figure/table.

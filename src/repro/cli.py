@@ -2,9 +2,11 @@
 
 Usage::
 
-    python -m repro list                      # figures and scales
+    python -m repro list                      # figures, scales, scenarios, methods
     python -m repro run fig11 --scale bench   # reproduce one figure
     python -m repro run all --scale ci        # everything, quickly
+    python -m repro scenario list             # registered scenarios/methods
+    python -m repro scenario run sequential --scale ci   # CL metrics for one run
     python -m repro info                      # version + inventory
     python -m repro store stats runs/buffer   # replay-store maintenance
     python -m repro store federate runs/seq   # compose per-task stores
@@ -35,6 +37,40 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", default="bench", help="ci | bench | paper")
     run.add_argument("--save-dir", default=None, help="write <id>.json/.csv here")
     run.add_argument("--no-plot", action="store_true", help="omit ASCII plots")
+
+    scenario = sub.add_parser(
+        "scenario", help="scenario-first continual-learning runs"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser("list", help="registered scenarios and methods")
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one scenario end-to-end and print its CL metrics"
+    )
+    scenario_run.add_argument(
+        "name", help="scenario name (see `repro scenario list`)"
+    )
+    scenario_run.add_argument(
+        "--method", default="replay4ncl",
+        help="NCL method registry name (default replay4ncl)",
+    )
+    scenario_run.add_argument("--scale", default="ci", help="ci | bench | paper")
+    scenario_run.add_argument(
+        "--store-dir", default=None,
+        help="persist replay via a store federation at this directory "
+        "(default: dense in-memory replay)",
+    )
+    scenario_run.add_argument(
+        "--shard-samples", type=int, default=None,
+        help="samples per shard on the store-backed path",
+    )
+    scenario_run.add_argument(
+        "--overwrite", action="store_true",
+        help="replace an existing federation at --store-dir",
+    )
+    scenario_run.add_argument(
+        "--budget-bytes", type=int, default=None,
+        help="global federation byte budget across all steps' stores",
+    )
 
     compare = sub.add_parser(
         "compare", help="paper-vs-measured table from saved benchmark results"
@@ -91,6 +127,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_registries() -> None:
+    """Scenario + method registry listing shared by `list` and `scenario list`."""
+    from repro.core import available_methods
+    from repro.scenario import available as available_scenarios
+    from repro.scenario import get as get_scenario
+
+    print("scenarios:")
+    for name in available_scenarios():
+        print(f"  {name}: {get_scenario(name).describe()}")
+    print("methods:")
+    for name in available_methods():
+        print(f"  {name}")
+
+
 def _cmd_list() -> int:
     from repro.eval import experiments
     from repro.eval.scale import SCALES, get_scale
@@ -101,6 +151,41 @@ def _cmd_list() -> int:
     print("scales:")
     for name in sorted(SCALES):
         print(f"  {get_scale(name).description}")
+    _print_registries()
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import run_scenario
+
+    if args.scenario_command == "list":
+        _print_registries()
+        return 0
+
+    replay = None
+    if args.store_dir is not None:
+        from repro.core import ReplaySpec
+
+        replay = ReplaySpec(
+            store_dir=args.store_dir,
+            shard_samples=args.shard_samples,
+            overwrite=args.overwrite,
+            federation_budget_bytes=args.budget_bytes,
+        )
+    elif (
+        args.shard_samples is not None
+        or args.overwrite
+        or args.budget_bytes is not None
+    ):
+        print(
+            "error: --shard-samples/--overwrite/--budget-bytes require --store-dir",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_scenario(
+        args.name, args.method, scale=args.scale, replay=replay
+    )
+    print(result.describe())
     return 0
 
 
@@ -110,7 +195,7 @@ def _cmd_info() -> int:
     print(f"repro {repro.__version__} — Replay4NCL (DAC 2025) reproduction")
     print(
         "packages: autograd, snn, data, compression, replaystore, training, "
-        "core, hw, eval"
+        "core, scenario, hw, eval"
     )
     print("see DESIGN.md for the system inventory and EXPERIMENTS.md for results")
     return 0
@@ -256,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_info()
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "scenario":
+            return _cmd_scenario(args)
         if args.command == "store":
             return _cmd_store(args)
         return _cmd_run(args)

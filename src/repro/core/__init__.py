@@ -16,12 +16,20 @@ Entry points: :func:`~repro.core.pipeline.pretrain` builds the shared
 pre-trained network; ``method.run(...)`` executes the NCL phase and
 returns an :class:`NCLResult` carrying accuracy curves, latent-memory
 stats and the op-count cost profile the hardware models consume.
+Replay persistence is configured through one validated
+:class:`~repro.core.replayspec.ReplaySpec` passed as ``replay=`` to
+every entry point, and methods are addressable by registry name
+(``naive`` / ``raw`` / ``spikinglr`` / ``replay4ncl`` — see
+:mod:`repro.core.registry`) so scenario-level drivers like
+:func:`repro.scenario.run_scenario` never hardcode class references.
 """
 
 from repro.core.latent_replay import LatentReplayBuffer
 from repro.core.pipeline import pretrain, run_method
 from repro.core.raw_replay import RawInputReplay
+from repro.core.registry import available_methods, get_method, register_method
 from repro.core.replay4ncl import Replay4NCL
+from repro.core.replayspec import ReplaySpec
 from repro.core.sequential import (
     SequentialResult,
     make_sequential_splits,
@@ -39,9 +47,13 @@ __all__ = [
     "RawInputReplay",
     "SpikingLR",
     "Replay4NCL",
+    "ReplaySpec",
     "SequentialResult",
     "make_sequential_splits",
     "run_sequential",
     "pretrain",
     "run_method",
+    "register_method",
+    "get_method",
+    "available_methods",
 ]

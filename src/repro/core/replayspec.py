@@ -1,0 +1,235 @@
+"""`ReplaySpec`: one validated object for all replay/store configuration.
+
+Before this module existed, replay persistence was configured through a
+sprawl of keyword arguments copy-pasted across :meth:`NCLMethod.run`,
+:func:`run_method`, and :func:`run_sequential` (``replay_store_dir`` /
+``store_root``, ``store_shard_samples``, ``store_overwrite``,
+``prefetch``, ``federation_*``).  Every new entry point had to forward
+all seven, and every new knob meant touching three signatures.
+
+:class:`ReplaySpec` consolidates them: one frozen, validated dataclass
+passed as ``replay=`` to every run entry point.  ``ReplaySpec()`` (all
+defaults) means *dense in-memory replay* — identical to passing nothing.
+A spec with ``store_dir`` set routes replay through the on-disk
+:mod:`repro.replaystore` machinery; the federation fields only apply to
+multi-step runs (:func:`~repro.core.sequential.run_sequential`,
+:func:`~repro.scenario.run_scenario`), where ``store_dir`` names the
+federation root and each step persists into a member store beneath it.
+
+The legacy kwargs survive as deprecation shims: passing any of them
+emits a :class:`DeprecationWarning` and translates to the equivalent
+spec via :func:`resolve_replay_spec`, with bitwise-identical behavior.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigError
+
+__all__ = ["ReplaySpec", "UNSET", "resolve_replay_spec"]
+
+
+class _Unset:
+    """Sentinel distinguishing 'kwarg not passed' from any real value."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<UNSET>"
+
+
+#: Default of every deprecated replay kwarg; lets the shims detect
+#: explicit use (even ``prefetch=None``, whose real default is ``None``).
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """Where and how replay memory persists during an NCL run.
+
+    Attributes
+    ----------
+    store_dir:
+        Directory of the on-disk replay store.  ``None`` (default) keeps
+        replay dense in memory.  For single runs this is the
+        :class:`~repro.replaystore.store.ReplayStore` root; for
+        multi-step runs it is the
+        :class:`~repro.replaystore.federation.FederatedReplayStore` root
+        and each step writes member store ``step-<k>`` beneath it.
+    shard_samples:
+        Samples per shard (decode granularity) of the store-backed path;
+        ``None`` keeps the store default.
+    overwrite:
+        Replace an existing store/federation at ``store_dir`` instead of
+        refusing to clobber it (the re-run switch).
+    prefetch:
+        Async shard prefetch on the store-backed path: ``True``/``False``
+        force it, ``None`` defers to the ``REPRO_PREFETCH`` environment
+        switch.  Output is bitwise-identical either way.
+    federation_budget_bytes:
+        Optional global byte budget enforced across all steps' member
+        stores by cross-member eviction (multi-step runs only).
+    federation_policy:
+        Eviction policy of the federation rebalance passes
+        (``fifo`` | ``reservoir`` | ``class-balanced``).
+    federation_seed:
+        RNG seed of the rebalance passes.
+    """
+
+    store_dir: str | Path | None = None
+    shard_samples: int | None = None
+    overwrite: bool = False
+    prefetch: bool | None = None
+    federation_budget_bytes: int | None = None
+    federation_policy: str = "class-balanced"
+    federation_seed: int = 0
+
+    def __post_init__(self):
+        if self.store_dir is not None:
+            object.__setattr__(self, "store_dir", Path(self.store_dir))
+        if self.shard_samples is not None and self.shard_samples <= 0:
+            raise ConfigError(
+                f"shard_samples must be positive, got {self.shard_samples}"
+            )
+        if (
+            self.federation_budget_bytes is not None
+            and self.federation_budget_bytes <= 0
+        ):
+            raise ConfigError(
+                "federation_budget_bytes must be positive, got "
+                f"{self.federation_budget_bytes}"
+            )
+        # Fail at construction on a misspelled policy, not steps later
+        # when the first rebalance runs.
+        from repro.replaystore.policies import get_policy
+
+        try:
+            get_policy(self.federation_policy)
+        except Exception as error:
+            raise ConfigError(
+                f"unknown federation_policy {self.federation_policy!r}"
+            ) from error
+        if self.store_dir is None:
+            stray = [
+                name
+                for name, value in (
+                    ("shard_samples", self.shard_samples),
+                    ("prefetch", self.prefetch),
+                    ("federation_budget_bytes", self.federation_budget_bytes),
+                )
+                if value is not None
+            ]
+            if self.overwrite:
+                stray.append("overwrite")
+            if self.federation_policy != "class-balanced":
+                stray.append("federation_policy")
+            if self.federation_seed != 0:
+                stray.append("federation_seed")
+            if stray:
+                raise ConfigError(
+                    f"replay options {stray} require store_dir (a dense "
+                    "in-memory run has no store to configure)"
+                )
+
+    @property
+    def store_backed(self) -> bool:
+        """Whether replay persists on disk instead of staying dense."""
+        return self.store_dir is not None
+
+    @property
+    def has_federation_options(self) -> bool:
+        """Whether any multi-step federation field departs from default."""
+        return (
+            self.federation_budget_bytes is not None
+            or self.federation_policy != "class-balanced"
+            or self.federation_seed != 0
+        )
+
+    def member(self, name: str) -> "ReplaySpec":
+        """Spec for one federation member store under ``store_dir``.
+
+        Multi-step runners hand each step this per-member view: the same
+        shard/overwrite/prefetch settings, rooted at
+        ``store_dir/<name>``, with the federation-level fields stripped
+        (the runner, not the per-step method, owns the federation).
+        """
+        if self.store_dir is None:
+            raise ConfigError("member() requires a store-backed spec")
+        return ReplaySpec(
+            store_dir=Path(self.store_dir) / name,
+            shard_samples=self.shard_samples,
+            overwrite=self.overwrite,
+            prefetch=self.prefetch,
+        )
+
+    def describe(self) -> str:
+        if not self.store_backed:
+            return "dense in-memory replay"
+        parts = [f"store-backed replay at {self.store_dir}"]
+        if self.shard_samples is not None:
+            parts.append(f"{self.shard_samples} samples/shard")
+        if self.federation_budget_bytes is not None:
+            parts.append(f"budget {self.federation_budget_bytes} B")
+        return ", ".join(parts)
+
+
+#: Legacy kwarg -> ReplaySpec field (both multi-step and single-run
+#: spellings of the store path map to ``store_dir``).
+_LEGACY_FIELDS = {
+    "replay_store_dir": "store_dir",
+    "store_root": "store_dir",
+    "store_shard_samples": "shard_samples",
+    "store_overwrite": "overwrite",
+    "prefetch": "prefetch",
+    "federation_budget_bytes": "federation_budget_bytes",
+    "federation_policy": "federation_policy",
+    "federation_seed": "federation_seed",
+}
+
+
+def resolve_replay_spec(
+    replay: "ReplaySpec | str | Path | None",
+    legacy: Mapping[str, Any],
+    caller: str,
+) -> ReplaySpec | None:
+    """Merge the ``replay=`` argument with deprecated legacy kwargs.
+
+    ``legacy`` maps legacy kwarg names to their received values; entries
+    equal to :data:`UNSET` were not passed.  Any explicitly passed legacy
+    kwarg emits one :class:`DeprecationWarning` naming the caller and is
+    translated to the equivalent :class:`ReplaySpec` — mixing both styles
+    in one call is a :class:`ConfigError`.  As a convenience, a bare
+    path for ``replay`` is promoted to ``ReplaySpec(store_dir=path)``.
+    """
+    if isinstance(replay, (str, Path)):
+        replay = ReplaySpec(store_dir=replay)
+    if replay is not None and not isinstance(replay, ReplaySpec):
+        raise ConfigError(
+            f"replay must be a ReplaySpec or a store path, got {type(replay).__name__}"
+        )
+    passed = {name: value for name, value in legacy.items() if value is not UNSET}
+    if not passed:
+        return replay
+    if replay is not None:
+        raise ConfigError(
+            f"{caller}: pass either replay=ReplaySpec(...) or the legacy "
+            f"kwargs {sorted(passed)}, not both"
+        )
+    warnings.warn(
+        f"{caller}: the kwargs {sorted(passed)} are deprecated; pass "
+        "replay=ReplaySpec(...) instead (see repro.core.replayspec)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    unknown = sorted(set(passed) - set(_LEGACY_FIELDS))
+    if unknown:
+        raise ConfigError(f"{caller}: unknown replay kwargs {unknown}")
+    fields = {_LEGACY_FIELDS[name]: value for name, value in passed.items()}
+    if fields.get("store_dir") is None:
+        # Historic behavior: without a store path the store/prefetch
+        # knobs were forwarded but ignored — the run stayed dense.  The
+        # shim preserves that exactly rather than erroring.
+        return None
+    return ReplaySpec(**fields)

@@ -13,8 +13,9 @@ agents face a *stream* of new classes; this module chains NCL steps:
 This is the natural extension of Alg. 1 and the stress test for the
 paper's parameter adjustments: forgetting can now compound across steps.
 
-Long sequences should not hold replay densely: pass ``store_root`` to
-persist every step's latent data as a member of a
+Long sequences should not hold replay densely: pass
+``replay=ReplaySpec(store_dir=...)`` to persist every step's latent
+data as a member of a
 :class:`~repro.replaystore.federation.FederatedReplayStore` — each step
 trains through a lazy (optionally prefetching) shard stream, so peak
 resident replay memory stays bounded by the shard size no matter how
@@ -27,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.replayspec import UNSET, ReplaySpec, resolve_replay_spec
 from repro.core.strategies import NCLMethod, NCLResult
 from repro.data.synthetic_shd import SyntheticSHD
 from repro.data.tasks import ClassIncrementalSplit
@@ -34,6 +36,57 @@ from repro.errors import DataError
 from repro.snn.network import SpikingNetwork
 
 __all__ = ["SequentialResult", "make_sequential_splits", "run_sequential"]
+
+
+def create_federation(replay: "ReplaySpec | None"):
+    """Open the per-step store federation of a store-backed spec.
+
+    Returns ``None`` for dense specs.  Shared by :func:`run_sequential`
+    and :func:`repro.scenario.run_scenario`, so both entry points build
+    byte-for-byte identical federations from the same ``ReplaySpec``.
+    """
+    if replay is None or not replay.store_backed:
+        return None
+    from repro.replaystore.federation import FederatedReplayStore
+
+    return FederatedReplayStore.create(
+        Path(replay.store_dir),
+        budget_bytes=replay.federation_budget_bytes,
+        policy=replay.federation_policy,
+        seed=replay.federation_seed,
+        overwrite=replay.overwrite,
+    )
+
+
+def run_chained_step(
+    method: NCLMethod,
+    network,
+    split: ClassIncrementalSplit,
+    *,
+    index: int,
+    replay: "ReplaySpec | None",
+    federation,
+) -> NCLResult:
+    """Run one step of a chained scenario and validate its result.
+
+    The single authority for per-step federation plumbing: member
+    ``step-<index>`` is written under the federation root, adopted, and
+    the federation rebalanced *after* the step trained (the budget caps
+    the archive, never the current step's replay set).  Used by both
+    :func:`run_sequential` and :func:`repro.scenario.run_scenario` so
+    their trajectories cannot drift apart.
+    """
+    if federation is not None:
+        member = f"step-{index:03d}"
+        result = method.run(network, split, replay=replay.member(member))
+        if result.replay_store_path is not None:
+            federation.adopt(member)
+            federation.rebalance()
+    else:
+        result = method.run(network, split)
+    if result.network is None:
+        raise DataError("method did not return its trained network")
+    return result
 
 
 @dataclass(frozen=True)
@@ -130,13 +183,14 @@ def run_sequential(
     pretrained,
     splits: list[ClassIncrementalSplit],
     *,
-    store_root: str | Path | None = None,
-    store_shard_samples: int | None = None,
-    store_overwrite: bool = False,
-    prefetch: bool | None = None,
-    federation_budget_bytes: int | None = None,
-    federation_policy: str = "class-balanced",
-    federation_seed: int = 0,
+    replay: ReplaySpec | None = None,
+    store_root=UNSET,
+    store_shard_samples=UNSET,
+    store_overwrite=UNSET,
+    prefetch=UNSET,
+    federation_budget_bytes=UNSET,
+    federation_policy=UNSET,
+    federation_seed=UNSET,
 ) -> SequentialResult:
     """Chain NCL steps: each starts from the previous step's network.
 
@@ -147,80 +201,61 @@ def run_sequential(
     :class:`~repro.core.pipeline.PretrainResult` (unwrapped like
     :func:`~repro.core.pipeline.run_method` does).
 
-    Parameters
-    ----------
-    store_root:
-        Directory for the store-backed path: step k persists its latent
-        replay data as member store ``store_root/step-<k>`` of a
-        :class:`~repro.replaystore.federation.FederatedReplayStore`
-        instead of holding a dense per-task buffer, and trains through a
-        lazy shard stream — peak resident replay memory is bounded by
-        the stream's two-shard decode cache (``2 * store_shard_samples``
-        dense samples) for *every* step of an arbitrary-length task
-        stream.  Training trajectories are bitwise-identical to the
-        dense path at the same seed.
-    store_shard_samples / prefetch:
-        Forwarded to each step's :meth:`NCLMethod.run` (shard decode
-        granularity; async shard prefetch, ``None`` = the
-        ``REPRO_PREFETCH`` environment switch).
-    store_overwrite:
-        Replace an existing federation (and its member stores) at
-        ``store_root`` instead of refusing to clobber it — the re-run
-        switch for a crashed or repeated scenario.
-    federation_budget_bytes:
-        Optional global byte budget over *all* steps' stores together.
-        After each step the federation rebalances: every stored sample
-        is re-admitted through ``federation_policy`` (class-balanced by
-        default) and losers are evicted across member stores, so the
-        archived replay memory never exceeds the budget no matter how
-        long the sequence runs.  The just-trained step is rebalanced
-        *after* its training finished — the budget caps the persistent
-        archive, never perturbing the current step's replay set.
-    federation_policy / federation_seed:
-        Eviction policy name and RNG seed of the rebalance passes.
+    ``replay`` is a :class:`~repro.core.replayspec.ReplaySpec` (or a
+    bare federation root path).  With ``store_dir`` set, step k persists
+    its latent replay data as member store ``store_dir/step-<k>`` of a
+    :class:`~repro.replaystore.federation.FederatedReplayStore` instead
+    of holding a dense per-task buffer, and trains through a lazy shard
+    stream — peak resident replay memory is bounded by the stream's
+    two-shard decode cache (``2 * spec.shard_samples`` dense samples)
+    for *every* step of an arbitrary-length task stream, while training
+    trajectories stay bitwise-identical to the dense path at the same
+    seed.  ``spec.overwrite`` replaces an existing federation (the
+    re-run switch); ``spec.federation_budget_bytes`` caps the persistent
+    archive across *all* steps' stores together — after each step the
+    federation rebalances through ``spec.federation_policy`` (seeded by
+    ``spec.federation_seed``) and losers are evicted across member
+    stores.  The just-trained step is rebalanced *after* its training
+    finished, so the budget never perturbs the current step's replay
+    set.
+
+    The ``store_root`` / ``store_shard_samples`` / ``store_overwrite`` /
+    ``prefetch`` / ``federation_*`` kwargs are deprecated shims: they
+    emit a :class:`DeprecationWarning` and translate to the equivalent
+    spec with bitwise-identical behavior.
     """
     if not splits:
         raise DataError("need at least one split")
+    replay = resolve_replay_spec(
+        replay,
+        {
+            "store_root": store_root,
+            "store_shard_samples": store_shard_samples,
+            "store_overwrite": store_overwrite,
+            "prefetch": prefetch,
+            "federation_budget_bytes": federation_budget_bytes,
+            "federation_policy": federation_policy,
+            "federation_seed": federation_seed,
+        },
+        caller="run_sequential",
+    )
+    if replay is None:
+        replay = ReplaySpec()
     from repro.core.pipeline import PretrainResult
 
     if isinstance(pretrained, PretrainResult):
         pretrained = pretrained.network
-    federation = None
-    if store_root is not None:
-        from repro.replaystore.federation import FederatedReplayStore
-
-        store_root = Path(store_root)
-        federation = FederatedReplayStore.create(
-            store_root,
-            budget_bytes=federation_budget_bytes,
-            policy=federation_policy,
-            seed=federation_seed,
-            overwrite=store_overwrite,
-        )
+    federation = create_federation(replay)
     network = pretrained
     results = []
     for k, split in enumerate(splits):
         method: NCLMethod = method_factory(k)
-        if federation is not None:
-            member = f"step-{k:03d}"
-            result = method.run(
-                network,
-                split,
-                replay_store_dir=store_root / member,
-                store_shard_samples=store_shard_samples,
-                store_overwrite=store_overwrite,
-                prefetch=prefetch,
-            )
-            if result.replay_store_path is not None:
-                federation.adopt(member)
-                federation.rebalance()
-        else:
-            result = method.run(network, split)
-        if result.network is None:
-            raise DataError("method did not return its trained network")
+        result = run_chained_step(
+            method, network, split, index=k, replay=replay, federation=federation
+        )
         results.append(result)
         network = result.network
     return SequentialResult(
         steps=tuple(results),
-        store_root=str(store_root) if federation is not None else None,
+        store_root=str(replay.store_dir) if federation is not None else None,
     )

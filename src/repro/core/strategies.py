@@ -16,13 +16,14 @@ actual simulated activity, not assumptions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from pathlib import Path
 
 import numpy as np
 
 from repro.config import ExperimentConfig
 from repro.core.latent_replay import LatentReplayBuffer
+from repro.core.replayspec import UNSET, ReplaySpec, resolve_replay_spec
 from repro.data.tasks import ClassIncrementalSplit
+from repro.errors import ConfigError
 from repro.seeding import spawn
 from repro.snn.network import SpikingNetwork
 from repro.snn.state import SpikeTrace
@@ -145,34 +146,62 @@ class NCLMethod:
         self,
         pretrained: SpikingNetwork,
         split: ClassIncrementalSplit,
-        replay_store_dir: str | Path | None = None,
-        store_shard_samples: int | None = None,
-        store_overwrite: bool = False,
-        prefetch: bool | None = None,
+        replay: ReplaySpec | None = None,
+        *,
+        replay_store_dir=UNSET,
+        store_shard_samples=UNSET,
+        store_overwrite=UNSET,
+        prefetch=UNSET,
     ) -> NCLResult:
         """Execute the full NCL phase; the pre-trained network is not mutated.
 
-        ``replay_store_dir`` switches the replay buffer to the
-        store-backed path: the generated latent data is persisted as a
-        sharded :class:`~repro.replaystore.store.ReplayStore` at that
-        directory (streamed chunk-by-chunk when no generation controller
-        is active, so not even generation holds the dense buffer), and
+        ``replay`` is a :class:`~repro.core.replayspec.ReplaySpec` (or a
+        bare store path promoted to one); ``None`` keeps replay dense in
+        memory.  A spec with ``store_dir`` set switches the replay
+        buffer to the store-backed path: the generated latent data is
+        persisted as a sharded
+        :class:`~repro.replaystore.store.ReplayStore` at that directory
+        (streamed chunk-by-chunk when no generation controller is
+        active, so not even generation holds the dense buffer), and
         training pulls replay minibatches through a lazy
         :class:`~repro.replaystore.stream.ReplayStream` (shard-at-a-time
         decode).  The training trajectory is bitwise-identical to the
         in-memory path at the same seed — shard codecs are lossless and
         the minibatch order is unchanged — while peak resident replay
         memory stays bounded by the stream's decode cache: two decoded
-        shards, i.e. ``2 * store_shard_samples`` dense samples (measured
+        shards, i.e. ``2 * spec.shard_samples`` dense samples (measured
         into ``NCLResult.replay_peak_resident_bytes``).
 
-        ``prefetch`` controls async shard prefetch on the store-backed
-        path: a background thread decodes the next minibatch's shards
-        while the current batch trains (see
+        ``spec.prefetch`` controls async shard prefetch on that path: a
+        background thread decodes the next minibatch's shards while the
+        current batch trains (see
         :class:`~repro.replaystore.prefetch.PrefetchingStream` — output
         is bitwise-identical either way).  ``None`` defers to the
         ``REPRO_PREFETCH`` environment switch.
+
+        The ``replay_store_dir`` / ``store_shard_samples`` /
+        ``store_overwrite`` / ``prefetch`` kwargs are deprecated shims:
+        they emit a :class:`DeprecationWarning` and translate to the
+        equivalent spec with bitwise-identical behavior.
         """
+        replay = resolve_replay_spec(
+            replay,
+            {
+                "replay_store_dir": replay_store_dir,
+                "store_shard_samples": store_shard_samples,
+                "store_overwrite": store_overwrite,
+                "prefetch": prefetch,
+            },
+            caller=f"{type(self).__name__}.run",
+        )
+        if replay is None:
+            replay = ReplaySpec()
+        if replay.has_federation_options:
+            raise ConfigError(
+                "federation options only apply to multi-step runs "
+                "(run_sequential / run_scenario); a single NCL run has "
+                "no federation to configure"
+            )
         config = self.config
         network = pretrained.clone()
         insertion = self.insertion_layer()
@@ -189,17 +218,17 @@ class NCLMethod:
             replay_subset = split.pretrain_train.sample_fraction(
                 config.ncl.replay_fraction, spawn(config.seed, "replay-subset")
             )
-            if replay_store_dir is not None:
+            if replay.store_backed:
                 store, generation_trace = LatentReplayBuffer.generate_into_store(
                     network,
                     replay_subset,
-                    replay_store_dir,
+                    replay.store_dir,
                     insertion_layer=insertion,
                     timesteps=timesteps,
                     compression_factor=self.compression_factor(),
                     controller=self.make_generation_controller(),
-                    shard_samples=store_shard_samples,
-                    overwrite=store_overwrite,
+                    shard_samples=replay.shard_samples,
+                    overwrite=replay.overwrite,
                 )
                 prepare_cost.frozen_traces.append(generation_trace)
             else:
@@ -259,7 +288,7 @@ class NCLMethod:
                     * store.meta.num_channels
                 )
             stream = ReplayStream(store, decompress=self.decompress_for_replay())
-            replay_view = PrefetchingStream(stream, enabled=prefetch)
+            replay_view = PrefetchingStream(stream, enabled=replay.prefetch)
             train_inputs = ConcatReplaySource(new_activations, replay_view)
             train_labels = np.concatenate([new_labels, store.labels])
             store_path = str(store.root)

@@ -21,6 +21,7 @@ from repro.data.synthetic_shd import SyntheticSHD, SyntheticSHDConfig
 from repro.data.tasks import ClassIncrementalSplit, make_class_incremental
 from repro.data.transforms import (
     channel_dropout,
+    drift_dataset,
     merge_rasters,
     rebin_raster,
     time_jitter,
@@ -37,6 +38,7 @@ __all__ = [
     "rebin_raster",
     "time_jitter",
     "channel_dropout",
+    "drift_dataset",
     "merge_rasters",
     "RasterStats",
     "raster_stats",

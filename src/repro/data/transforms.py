@@ -11,7 +11,13 @@ import numpy as np
 
 from repro.errors import DataError
 
-__all__ = ["rebin_raster", "time_jitter", "channel_dropout", "merge_rasters"]
+__all__ = [
+    "rebin_raster",
+    "time_jitter",
+    "channel_dropout",
+    "merge_rasters",
+    "drift_dataset",
+]
 
 
 def rebin_raster(raster: np.ndarray, new_timesteps: int) -> np.ndarray:
@@ -69,6 +75,59 @@ def channel_dropout(
         raise DataError(f"p must lie in [0, 1), got {p}")
     keep = rng.random(raster.shape[-1]) >= p
     return raster * keep.astype(raster.dtype)
+
+
+def drift_dataset(
+    dataset,
+    rng: np.random.Generator,
+    *,
+    grid_steps: int,
+    max_shift: int = 0,
+    dropout_p: float = 0.0,
+    blur_steps: int | None = None,
+):
+    """Apply a domain shift to every recording of a dataset.
+
+    Models a deployed sensor whose input statistics drift while the
+    label space stays fixed — the domain-incremental setting.  Each
+    recording is rasterised at ``grid_steps`` bins and pushed through
+    the raster transforms, per sample:
+
+    1. temporal blur (optional): :func:`rebin_raster` down to
+       ``blur_steps`` bins and back — the sensor's effective temporal
+       resolution degrades, merging nearby events;
+    2. :func:`time_jitter` by up to ``max_shift`` grid bins — onset
+       drift (clock skew, changing reaction latency);
+    3. :func:`channel_dropout` with probability ``dropout_p`` — dying
+       channels.
+
+    The result is converted back to an :class:`~repro.data.events.EventStream`
+    per recording, so the drifted dataset walks through the exact same
+    downstream machinery (dense caching, replay generation) as a clean
+    one.  Deterministic given ``rng``; labels are untouched.
+    """
+    from repro.data.datasets import SpikeDataset
+    from repro.data.events import EventStream
+
+    if grid_steps <= 0:
+        raise DataError(f"grid_steps must be positive, got {grid_steps}")
+    if blur_steps is not None and not 0 < blur_steps <= grid_steps:
+        raise DataError(
+            f"blur_steps must lie in (0, {grid_steps}], got {blur_steps}"
+        )
+    streams = []
+    for stream in dataset.streams:
+        raster = stream.to_dense(grid_steps)
+        if blur_steps is not None and blur_steps != grid_steps:
+            raster = rebin_raster(rebin_raster(raster, blur_steps), grid_steps)
+        raster = time_jitter(raster, max_shift, rng)
+        raster = channel_dropout(raster, dropout_p, rng)
+        streams.append(EventStream.from_dense(raster, duration=stream.duration))
+    return SpikeDataset(
+        streams=streams,
+        labels=dataset.labels.copy(),
+        num_classes=dataset.num_classes,
+    )
 
 
 def merge_rasters(a: np.ndarray, b: np.ndarray, axis: int = 1) -> np.ndarray:

@@ -31,7 +31,14 @@ from repro.eval.scale import ScalePreset, get_scale
 from repro.snn.network import SpikingNetwork
 from repro.training.metrics import TrainingHistory
 
-__all__ = ["ExperimentContext", "context", "run", "available_experiments", "cache_dir"]
+__all__ = [
+    "ExperimentContext",
+    "context",
+    "run",
+    "run_scenario",
+    "available_experiments",
+    "cache_dir",
+]
 
 _CONTEXTS: dict[str, "ExperimentContext"] = {}
 _RUNS: dict[tuple, NCLResult] = {}
@@ -158,3 +165,28 @@ def run(experiment_id: str, scale: str = "bench", **kwargs) -> ExperimentResult:
             f"available: {available_experiments()}"
         ) from None
     return fn(context(scale), **kwargs)
+
+
+def run_scenario(name: str, method: str = "replay4ncl", scale: str = "bench", **kwargs):
+    """Run a registered continual-learning scenario at a scale preset.
+
+    Thin wiring into :func:`repro.scenario.run_scenario` that reuses
+    this module's shared context where possible: the default
+    ``single-step`` scenario is exactly the paper's split, so its
+    (disk-cached) pre-trained network and generator are shared with the
+    figure experiments instead of re-training.  ``kwargs`` are forwarded
+    (e.g. ``replay=ReplaySpec(...)``).
+    """
+    from repro import scenario as scenario_pkg
+
+    # Reuse the cached context only when the caller overrode nothing it
+    # depends on: a custom generator/experiment changes the base split,
+    # and a network pretrained on a different split would silently
+    # produce garbage metrics.
+    overrides = ("pretrained", "generator", "experiment")
+    if name == "single-step" and not any(key in kwargs for key in overrides):
+        ctx = context(scale)
+        kwargs["generator"] = ctx.generator
+        kwargs["experiment"] = ctx.preset.experiment
+        kwargs["pretrained"] = ctx.pretrained
+    return scenario_pkg.run_scenario(name, method, scale=scale, **kwargs)

@@ -219,7 +219,7 @@ def fig8(ctx: ExperimentContext) -> ExperimentResult:
     timestep_axis = tuple(max(int(round(t_full * f)), 1) for f in fractions)
     result.add_series(Series(
         name="latency-normalized", x=timestep_axis,
-        y=tuple(l / latencies[0] for l in latencies),
+        y=tuple(value / latencies[0] for value in latencies),
         x_label="timesteps", y_label="normalized latency",
     ))
     result.add_series(Series(

@@ -7,10 +7,11 @@ byte budgets with pluggable admission/eviction (``policies``/
 async shard prefetch overlapping decode with the SNN step
 (``prefetch``), and multi-store federation for long task sequences
 under one global budget (``federation``).
-``LatentReplayBuffer.to_store()`` /
-``NCLMethod.run(..., replay_store_dir=...)`` /
-``run_sequential(..., store_root=...)`` are the high-level entry
-points; ``repro store`` is the CLI face.
+``LatentReplayBuffer.to_store()`` and the run entry points with a
+store-backed spec — ``NCLMethod.run(...,
+replay=ReplaySpec(store_dir=...))``, ``run_sequential`` /
+``run_scenario`` likewise — are the high-level faces; ``repro store``
+is the CLI one.
 """
 
 from repro.replaystore.builder import SAMPLE_HEADER_BYTES, StreamingStoreBuilder

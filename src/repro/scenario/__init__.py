@@ -1,0 +1,56 @@
+"""Scenario-first continual learning: registry, built-ins, one run API.
+
+The paper evaluates a single continual step (19 classes -> +1), but the
+same replay machinery serves every continual setting — class-, domain-,
+and task-incremental, online/blurry streams.  This package makes the
+*scenario* the unit of configuration:
+
+- :class:`~repro.scenario.base.Scenario` — a protocol that lazily
+  yields :class:`~repro.scenario.base.ContinualStep` s (a
+  :class:`~repro.data.tasks.ClassIncrementalSplit` plus per-step
+  metadata).
+- a name registry (:func:`register` / :func:`get` / :func:`available`)
+  with four built-ins: ``single-step`` (the paper's protocol),
+  ``sequential`` (a stream of new classes), ``domain-incremental``
+  (fixed classes, drifting input statistics), and ``blurry``
+  (overlapping class boundaries).
+- :func:`run_scenario` — one entry point: pre-train, chain one NCL run
+  per step (optionally store-backed via a single
+  :class:`~repro.core.replayspec.ReplaySpec`), and score the whole
+  trajectory with the standard CL metrics
+  (:mod:`repro.scenario.metrics`).
+
+Quickstart
+----------
+>>> from repro.scenario import run_scenario
+>>> result = run_scenario("sequential", "replay4ncl", scale="ci")  # doctest: +SKIP
+>>> print(result.describe())                                       # doctest: +SKIP
+"""
+
+from repro.scenario.base import ContinualStep, Scenario
+from repro.scenario.builtin import (  # importing registers the built-ins
+    BlurryScenario,
+    DomainIncrementalScenario,
+    SequentialScenario,
+    SingleStepScenario,
+)
+from repro.scenario.metrics import average_accuracy, backward_transfer, forgetting
+from repro.scenario.registry import available, get, register
+from repro.scenario.runner import ScenarioResult, run_scenario
+
+__all__ = [
+    "ContinualStep",
+    "Scenario",
+    "register",
+    "get",
+    "available",
+    "SingleStepScenario",
+    "SequentialScenario",
+    "DomainIncrementalScenario",
+    "BlurryScenario",
+    "average_accuracy",
+    "forgetting",
+    "backward_transfer",
+    "ScenarioResult",
+    "run_scenario",
+]

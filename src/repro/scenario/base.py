@@ -1,0 +1,81 @@
+"""The `Scenario` protocol and its `ContinualStep` unit of work.
+
+A *scenario* describes the shape of a continual-learning problem —
+which data arrives when — independently of the method that learns it
+and of the replay plumbing that stores it.  It is a lazy factory: a
+scenario object holds only its parameters; datasets materialise
+step-by-step when :meth:`Scenario.steps` is iterated, so an
+arbitrarily long stream never needs all its steps resident at once.
+
+Every step reuses :class:`~repro.data.tasks.ClassIncrementalSplit` as
+its data container — the four-dataset contract every
+:class:`~repro.core.strategies.NCLMethod` already consumes — even for
+non-class-incremental settings: a domain-incremental step keeps the
+class sets identical and drifts the input statistics, a blurry step
+overlaps the class boundaries.  ``info`` carries the per-step metadata
+that distinguishes those settings (drift severity, minority mix, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.config import ExperimentConfig
+from repro.data.synthetic_shd import SyntheticSHD
+from repro.data.tasks import ClassIncrementalSplit
+
+__all__ = ["ContinualStep", "Scenario"]
+
+
+@dataclass(frozen=True)
+class ContinualStep:
+    """One unit of continual learning: a split plus step metadata.
+
+    Attributes
+    ----------
+    index:
+        Position in the stream (0-based).
+    split:
+        The step's data, in the shape every NCL method consumes:
+        ``pretrain_*`` is the replay source / retention test,
+        ``new_*`` is what arrives at this step.
+    name:
+        Human-readable step label (``"step-1: +class 4"``).
+    info:
+        Scenario-specific metadata (drift severity, blur fraction,
+        class layout...).  Purely descriptive — methods never read it.
+    """
+
+    index: int
+    split: ClassIncrementalSplit
+    name: str
+    info: dict = field(default_factory=dict)
+
+
+@runtime_checkable
+class Scenario(Protocol):
+    """Anything that lazily yields :class:`ContinualStep` s.
+
+    Implementations are plain classes — no registration or inheritance
+    required beyond this structural contract:
+
+    - ``name``: the registry/CLI identifier.
+    - ``describe()``: a one-line human summary of the setting.
+    - ``steps(generator, experiment)``: a lazy iterator of steps.  The
+      first step's ``split.pretrain_*`` defines what the network is
+      pre-trained on; each subsequent step chains from the previous
+      step's trained network.
+    """
+
+    name: str
+
+    def describe(self) -> str:
+        """One-line summary of the scenario's shape."""
+        ...
+
+    def steps(
+        self, generator: SyntheticSHD, experiment: ExperimentConfig
+    ) -> Iterator[ContinualStep]:
+        """Lazily yield the scenario's continual steps, in order."""
+        ...

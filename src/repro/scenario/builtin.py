@@ -1,0 +1,314 @@
+"""The four built-in scenarios.
+
+Continual-learning surveys distinguish several settings by *what
+changes* between steps; each built-in maps one onto the shared
+:class:`~repro.scenario.base.ContinualStep` contract:
+
+- ``single-step`` — the paper's 19+1 class-incremental evaluation: one
+  step, one new class set.
+- ``sequential`` — a stream of class-incremental steps (wraps
+  :func:`~repro.core.sequential.make_sequential_splits`).
+- ``domain-incremental`` — the label space is fixed; the *input
+  statistics* drift step by step (temporal blur, onset jitter, dying
+  channels via :func:`~repro.data.transforms.drift_dataset`).
+- ``blurry`` — class-incremental with overlapping boundaries: each
+  step's training stream is dominated by its new classes but carries a
+  minority blend of already-seen classes (the online/blurry setting).
+
+All four are lazy: datasets materialise only as ``steps()`` is
+iterated.  Everything is deterministic given ``(generator, experiment)``
+— per-step randomness is spawned from ``experiment.seed``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.config import ExperimentConfig
+from repro.core.sequential import make_sequential_splits
+from repro.data.synthetic_shd import SyntheticSHD
+from repro.data.tasks import ClassIncrementalSplit, make_class_incremental
+from repro.data.transforms import drift_dataset
+from repro.errors import ConfigError, DataError
+from repro.scenario.base import ContinualStep
+from repro.scenario.registry import register
+from repro.seeding import spawn
+
+__all__ = [
+    "SingleStepScenario",
+    "SequentialScenario",
+    "DomainIncrementalScenario",
+    "BlurryScenario",
+]
+
+
+@dataclass(frozen=True)
+class SingleStepScenario:
+    """The paper's evaluation: one continual step adding the held-out classes.
+
+    ``num_pretrain_classes`` overrides the experiment's setting (which
+    defaults to ``num_classes - 1`` — exactly one class arrives during
+    the CL phase).
+    """
+
+    num_pretrain_classes: int | None = None
+
+    name = "single-step"
+
+    def describe(self) -> str:
+        return "one class-incremental step: pre-train on the old classes, +new"
+
+    def steps(
+        self, generator: SyntheticSHD, experiment: ExperimentConfig
+    ) -> Iterator[ContinualStep]:
+        base = (
+            self.num_pretrain_classes
+            if self.num_pretrain_classes is not None
+            else experiment.num_pretrain_classes
+        )
+        split = make_class_incremental(
+            generator,
+            experiment.samples_per_class,
+            experiment.test_samples_per_class,
+            num_pretrain_classes=base,
+        )
+        yield ContinualStep(
+            index=0,
+            split=split,
+            name=f"step-0: +classes {list(split.new_classes)}",
+            info={
+                "old_classes": split.old_classes,
+                "new_classes": split.new_classes,
+            },
+        )
+
+
+def _default_base_classes(
+    generator: SyntheticSHD, steps: int, classes_per_step: int
+) -> int:
+    """Largest base pool leaving ``steps * classes_per_step`` classes free."""
+    base = generator.config.num_classes - steps * classes_per_step
+    if base <= 0:
+        raise DataError(
+            f"{steps} steps x {classes_per_step} classes need more classes "
+            f"than the generator's {generator.config.num_classes}"
+        )
+    return base
+
+
+@dataclass(frozen=True)
+class SequentialScenario:
+    """A stream of class-incremental steps (the multi-step stress test).
+
+    Wraps :func:`~repro.core.sequential.make_sequential_splits`: step k
+    adds ``classes_per_step`` new classes, and its replay pool covers
+    everything seen so far.  ``base_classes`` defaults to every class
+    not consumed by the stream.
+    """
+
+    steps_count: int = 2
+    classes_per_step: int = 1
+    base_classes: int | None = None
+
+    name = "sequential"
+
+    def __post_init__(self):
+        if self.steps_count <= 0:
+            raise ConfigError(
+                f"steps_count must be positive, got {self.steps_count}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"{self.steps_count} class-incremental steps, "
+            f"{self.classes_per_step} new class(es) each"
+        )
+
+    def steps(
+        self, generator: SyntheticSHD, experiment: ExperimentConfig
+    ) -> Iterator[ContinualStep]:
+        base = (
+            self.base_classes
+            if self.base_classes is not None
+            else _default_base_classes(
+                generator, self.steps_count, self.classes_per_step
+            )
+        )
+        splits = make_sequential_splits(
+            generator,
+            experiment.samples_per_class,
+            experiment.test_samples_per_class,
+            base_classes=base,
+            steps=self.steps_count,
+            classes_per_step=self.classes_per_step,
+        )
+        for k, split in enumerate(splits):
+            yield ContinualStep(
+                index=k,
+                split=split,
+                name=f"step-{k}: +classes {list(split.new_classes)}",
+                info={"new_classes": split.new_classes},
+            )
+
+
+@dataclass(frozen=True)
+class DomainIncrementalScenario:
+    """Fixed classes, drifting input statistics.
+
+    The network pre-trains on the *clean* domain over all classes; each
+    continual step presents the same classes under a progressively
+    harsher domain built from the existing raster transforms
+    (:func:`~repro.data.transforms.drift_dataset`): step k applies
+    onset jitter up to ``(k+1) * max_shift`` grid bins, channel dropout
+    at ``(k+1) * dropout_p`` (capped at 0.45), and — with ``blur`` on —
+    temporal blur through a ``grid_steps // (k+2)``-bin rebin cycle.
+    Each step's split keeps the clean datasets as the replay source /
+    retention test (``pretrain_*``) and carries the drifted ones as the
+    arriving task (``new_*``), so "old accuracy" reads as *retention of
+    the original domain* and "new accuracy" as *adaptation to the
+    drifted one*.
+    """
+
+    steps_count: int = 2
+    max_shift: int = 2
+    dropout_p: float = 0.05
+    blur: bool = True
+
+    name = "domain-incremental"
+
+    def __post_init__(self):
+        if self.steps_count <= 0:
+            raise ConfigError(
+                f"steps_count must be positive, got {self.steps_count}"
+            )
+        if self.max_shift < 0:
+            raise ConfigError(f"max_shift must be >= 0, got {self.max_shift}")
+        if not 0.0 <= self.dropout_p < 1.0:
+            raise ConfigError(
+                f"dropout_p must lie in [0, 1), got {self.dropout_p}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"{self.steps_count} domain-drift steps over fixed classes "
+            f"(jitter {self.max_shift}/step, dropout {self.dropout_p:.0%}/step"
+            + (", temporal blur)" if self.blur else ")")
+        )
+
+    def _severity(self, k: int, grid_steps: int) -> dict:
+        return {
+            "max_shift": (k + 1) * self.max_shift,
+            "dropout_p": min((k + 1) * self.dropout_p, 0.45),
+            "blur_steps": max(grid_steps // (k + 2), 8) if self.blur else None,
+        }
+
+    def steps(
+        self, generator: SyntheticSHD, experiment: ExperimentConfig
+    ) -> Iterator[ContinualStep]:
+        clean_train = generator.generate_dataset(
+            experiment.samples_per_class, split="train"
+        )
+        clean_test = generator.generate_dataset(
+            experiment.test_samples_per_class, split="test"
+        )
+        all_classes = tuple(range(generator.config.num_classes))
+        grid = generator.config.grid_steps
+        for k in range(self.steps_count):
+            severity = self._severity(k, grid)
+            rng = spawn(experiment.seed, f"scenario:domain:{k}")
+            split = ClassIncrementalSplit(
+                pretrain_train=clean_train,
+                pretrain_test=clean_test,
+                new_train=drift_dataset(clean_train, rng, grid_steps=grid, **severity),
+                new_test=drift_dataset(clean_test, rng, grid_steps=grid, **severity),
+                old_classes=all_classes,
+                new_classes=all_classes,
+            )
+            yield ContinualStep(
+                index=k,
+                split=split,
+                name=f"step-{k}: domain drift severity {k + 1}",
+                info={"domain": k + 1, **severity},
+            )
+
+
+@dataclass(frozen=True)
+class BlurryScenario:
+    """Class-incremental steps whose class boundaries overlap.
+
+    Online streams rarely partition cleanly: samples of already-seen
+    classes keep arriving alongside the new ones.  Each step starts
+    from the ``sequential`` layout, then blends a class-stratified
+    ``blur_fraction`` of the seen-class pool into the step's training
+    stream (labels kept) — the *blurry* continual setting.  Evaluation
+    stays disjoint: ``new_test`` holds only the step's new classes.
+    """
+
+    steps_count: int = 2
+    classes_per_step: int = 1
+    base_classes: int | None = None
+    blur_fraction: float = 0.25
+
+    name = "blurry"
+
+    def __post_init__(self):
+        if self.steps_count <= 0:
+            raise ConfigError(
+                f"steps_count must be positive, got {self.steps_count}"
+            )
+        if not 0.0 < self.blur_fraction <= 1.0:
+            raise ConfigError(
+                f"blur_fraction must lie in (0, 1], got {self.blur_fraction}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"{self.steps_count} overlapping class-incremental steps "
+            f"({self.blur_fraction:.0%} seen-class blend in each stream)"
+        )
+
+    def steps(
+        self, generator: SyntheticSHD, experiment: ExperimentConfig
+    ) -> Iterator[ContinualStep]:
+        base = (
+            self.base_classes
+            if self.base_classes is not None
+            else _default_base_classes(
+                generator, self.steps_count, self.classes_per_step
+            )
+        )
+        splits = make_sequential_splits(
+            generator,
+            experiment.samples_per_class,
+            experiment.test_samples_per_class,
+            base_classes=base,
+            steps=self.steps_count,
+            classes_per_step=self.classes_per_step,
+        )
+        for k, split in enumerate(splits):
+            rng = spawn(experiment.seed, f"scenario:blurry:{k}")
+            minority = split.pretrain_train.sample_fraction(self.blur_fraction, rng)
+            blurred = dataclasses.replace(
+                split, new_train=split.new_train.concat(minority)
+            )
+            yield ContinualStep(
+                index=k,
+                split=blurred,
+                name=(
+                    f"step-{k}: +classes {list(split.new_classes)} "
+                    f"(+{len(minority)} seen-class samples)"
+                ),
+                info={
+                    "new_classes": split.new_classes,
+                    "minority_samples": len(minority),
+                    "blur_fraction": self.blur_fraction,
+                },
+            )
+
+
+register("single-step", SingleStepScenario)
+register("sequential", SequentialScenario)
+register("domain-incremental", DomainIncrementalScenario)
+register("blurry", BlurryScenario)

@@ -1,0 +1,86 @@
+"""Standard continual-learning metrics over an accuracy matrix.
+
+The whole trajectory of a scenario run is summarised by one matrix
+``R`` of shape ``[S+1, S+1]`` for ``S`` continual steps: *session* 0 is
+pre-training and session ``i >= 1`` is continual step ``i-1``; *task* 0
+is the pre-training base and task ``j >= 1`` is the data arriving at
+step ``j-1``.  ``R[i, j]`` is top-1 accuracy on task ``j``'s test set
+after session ``i``; entries above the diagonal (tasks not yet seen)
+are ``NaN``.
+
+From it, the three standard summary numbers (GEM / Riemannian-walk
+conventions):
+
+- **average accuracy** — mean of the final row: how good the final
+  network is across everything it ever saw.
+- **forgetting** — for each non-final task, the gap between its best
+  historical accuracy and its final accuracy, averaged; >= 0 up to
+  noise, and 0 means nothing learned was lost.
+- **backward transfer (BWT)** — mean of ``R[S, j] - R[j, j]``: how much
+  *later* learning changed each task relative to right after it was
+  learned.  Negative BWT is forgetting; positive means later steps
+  improved earlier tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+__all__ = ["average_accuracy", "forgetting", "backward_transfer"]
+
+
+def _validated(matrix) -> np.ndarray:
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2 or m.shape[0] != m.shape[1] or m.shape[0] < 1:
+        raise DataError(
+            f"accuracy matrix must be square [S+1, S+1], got shape {m.shape}"
+        )
+    lower = np.tril_indices(m.shape[0])
+    seen = m[lower]
+    if not np.all(np.isfinite(seen)):
+        raise DataError("accuracy matrix has non-finite entries on/below the diagonal")
+    if seen.min() < 0.0 or seen.max() > 1.0:
+        raise DataError(
+            f"accuracies must lie in [0, 1], got range "
+            f"[{seen.min():.3f}, {seen.max():.3f}]"
+        )
+    return m
+
+
+def average_accuracy(matrix) -> float:
+    """Mean final-session accuracy over all tasks (``mean_j R[S, j]``)."""
+    m = _validated(matrix)
+    return float(np.mean(m[-1, :]))
+
+
+def forgetting(matrix) -> float:
+    """Mean over non-final tasks of (best historical - final) accuracy.
+
+    ``f_j = max_{i in [j, S-1]} R[i, j] - R[S, j]`` averaged over tasks
+    ``j < S``; 0.0 for a single-session matrix (nothing to forget).
+    """
+    m = _validated(matrix)
+    sessions = m.shape[0]
+    if sessions == 1:
+        return 0.0
+    gaps = []
+    for j in range(sessions - 1):
+        best = np.max(m[j : sessions - 1, j])
+        gaps.append(best - m[-1, j])
+    return float(np.mean(gaps))
+
+
+def backward_transfer(matrix) -> float:
+    """Mean over non-final tasks of (final - just-learned) accuracy.
+
+    ``BWT = mean_{j < S} (R[S, j] - R[j, j])``; 0.0 for a
+    single-session matrix.  Negative values quantify forgetting.
+    """
+    m = _validated(matrix)
+    sessions = m.shape[0]
+    if sessions == 1:
+        return 0.0
+    deltas = [m[-1, j] - m[j, j] for j in range(sessions - 1)]
+    return float(np.mean(deltas))

@@ -1,0 +1,296 @@
+"""`run_scenario`: one entry point from scenario name to CL metrics.
+
+Ties the redesign together: resolve the scenario (by name or instance)
+and the method (by registry name or factory), pre-train on the first
+step's base data, chain one NCL run per step — optionally store-backed
+through a per-step :class:`~repro.replaystore.federation.FederatedReplayStore`
+governed by a single :class:`~repro.core.replayspec.ReplaySpec` — and
+evaluate the network on **every task seen so far after every step**,
+producing the accuracy matrix the standard continual-learning metrics
+(:mod:`repro.scenario.metrics`) are defined on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.core.pipeline import PretrainResult, pretrain
+from repro.core.registry import get_method
+from repro.core.replayspec import ReplaySpec, resolve_replay_spec
+from repro.core.sequential import (
+    SequentialResult,
+    create_federation,
+    run_chained_step,
+)
+from repro.core.strategies import NCLMethod, NCLResult
+from repro.data.datasets import SpikeDataset
+from repro.data.synthetic_shd import SyntheticSHD
+from repro.errors import ConfigError, DataError
+from repro.scenario.base import Scenario
+from repro.scenario.metrics import average_accuracy, backward_transfer, forgetting
+from repro.scenario.registry import get
+from repro.snn.network import SpikingNetwork
+from repro.training.metrics import top1_accuracy
+
+__all__ = ["ScenarioResult", "run_scenario"]
+
+
+@dataclass(frozen=True, eq=False)
+class ScenarioResult:
+    """Outcome of a full scenario run; generalizes `SequentialResult`.
+
+    Attributes
+    ----------
+    scenario / method:
+        The scenario's registry name, and the method as it was
+        addressed: the registry name when one was passed, otherwise the
+        method's own ``name`` attribute.
+    steps:
+        One :class:`~repro.core.strategies.NCLResult` per continual step.
+    step_names:
+        The scenario's human-readable step labels.
+    accuracy_matrix:
+        ``[S+1, S+1]`` session-by-task top-1 matrix (see
+        :mod:`repro.scenario.metrics` for the convention); ``NaN`` above
+        the diagonal.  Every entry — including the session-0 row — is
+        measured under the *method's NCL deployment semantics* (NCL
+        timesteps, adaptive threshold from the insertion layer), so
+        column deltas read as actual forgetting/transfer, never as the
+        systematic pretrain-vs-NCL timestep gap.
+    pretrain_accuracy:
+        Base-task accuracy of the pre-trained network (``R[0, 0]``,
+        same NCL deployment semantics as the rest of the matrix).
+    store_root:
+        Federation root when the run was store-backed; None when dense.
+    """
+
+    scenario: str
+    method: str
+    steps: tuple[NCLResult, ...]
+    step_names: tuple[str, ...]
+    accuracy_matrix: np.ndarray
+    pretrain_accuracy: float
+    store_root: str | None = None
+
+    # -- standard CL metrics -------------------------------------------
+    @property
+    def average_accuracy(self) -> float:
+        """Mean final accuracy over every task seen (base + all steps)."""
+        return average_accuracy(self.accuracy_matrix)
+
+    @property
+    def forgetting(self) -> float:
+        """Mean (best historical - final) accuracy over non-final tasks."""
+        return forgetting(self.accuracy_matrix)
+
+    @property
+    def backward_transfer(self) -> float:
+        """Mean (final - just-learned) accuracy over non-final tasks."""
+        return backward_transfer(self.accuracy_matrix)
+
+    # -- SequentialResult-compatible views -----------------------------
+    @property
+    def final_network(self) -> SpikingNetwork:
+        network = self.steps[-1].network
+        if network is None:
+            raise DataError("final step carries no network")
+        return network
+
+    @property
+    def old_accuracy_trajectory(self) -> tuple[float, ...]:
+        """Old-task accuracy after each step (forgetting accumulation)."""
+        return tuple(step.final_old_accuracy for step in self.steps)
+
+    @property
+    def new_accuracy_trajectory(self) -> tuple[float, ...]:
+        return tuple(step.final_new_accuracy for step in self.steps)
+
+    def as_sequential(self) -> SequentialResult:
+        """The plain multi-step view (drops the matrix and metrics)."""
+        return SequentialResult(steps=self.steps, store_root=self.store_root)
+
+    def describe(self) -> str:
+        lines = [
+            f"scenario {self.scenario!r} x method {self.method!r}: "
+            f"{len(self.steps)} step(s)",
+            f"  pretrain: base accuracy {self.pretrain_accuracy:.3f}",
+        ]
+        for name, step in zip(self.step_names, self.steps):
+            lines.append(
+                f"  {name}: old={step.final_old_accuracy:.3f} "
+                f"new={step.final_new_accuracy:.3f} "
+                f"overall={step.final_overall_accuracy:.3f}"
+            )
+        lines.append(
+            f"  average accuracy {self.average_accuracy:.3f} | "
+            f"forgetting {self.forgetting:+.3f} | "
+            f"backward transfer {self.backward_transfer:+.3f}"
+        )
+        if self.store_root is not None:
+            lines.append(f"  replay federation: {self.store_root}")
+        return "\n".join(lines)
+
+
+def _task_accuracy(
+    network: SpikingNetwork,
+    dataset: SpikeDataset,
+    timesteps: int,
+    method: NCLMethod,
+) -> float:
+    """Top-1 on one task's test set under the method's deployment semantics.
+
+    Matches the evaluators inside :meth:`NCLMethod.run`: the frozen
+    front keeps its static pre-trained threshold; adaptive thresholds
+    apply from the insertion layer up.
+    """
+    predictions = network.predict(
+        dataset.to_dense(timesteps),
+        controller=method.make_controller(),
+        controller_from_layer=method.insertion_layer(),
+    )
+    return top1_accuracy(predictions, dataset.labels)
+
+
+def run_scenario(
+    scenario: Scenario | str,
+    method: str | Callable[[ExperimentConfig], NCLMethod] = "replay4ncl",
+    *,
+    scale: str = "ci",
+    generator: SyntheticSHD | None = None,
+    experiment: ExperimentConfig | None = None,
+    pretrained: PretrainResult | SpikingNetwork | None = None,
+    replay: ReplaySpec | str | Path | None = None,
+) -> ScenarioResult:
+    """Run a whole scenario end-to-end and return its CL metrics.
+
+    Parameters
+    ----------
+    scenario:
+        A registry name (``"single-step"``, ``"sequential"``,
+        ``"domain-incremental"``, ``"blurry"``, or anything registered
+        via :func:`repro.scenario.register`) or a ready
+        :class:`~repro.scenario.base.Scenario` instance (for
+        non-default parameters, build one via
+        :func:`repro.scenario.get`).
+    method:
+        A method-registry name (see :mod:`repro.core.registry`) or a
+        factory ``config -> NCLMethod``, called once per step.
+    scale:
+        Scale preset supplying ``generator``/``experiment`` when those
+        are not given explicitly (see :mod:`repro.eval.scale`).
+    pretrained:
+        Skip pre-training by supplying the starting network — a
+        :class:`~repro.core.pipeline.PretrainResult` or a bare
+        :class:`~repro.snn.network.SpikingNetwork` (then the base-task
+        accuracy is measured here).  Must match the scenario's first
+        step (same base classes), which is the caller's responsibility.
+    replay:
+        A :class:`~repro.core.replayspec.ReplaySpec` (or bare path,
+        promoted to one).  Store-backed runs persist each step's latent
+        data as federation member ``step-<k>`` under
+        ``replay.store_dir`` — identical plumbing (and bitwise-identical
+        trajectories) to :func:`~repro.core.sequential.run_sequential`.
+    """
+    if isinstance(scenario, str):
+        scenario = get(scenario)
+    if not isinstance(scenario, Scenario):
+        raise ConfigError(
+            f"scenario must be a registry name or Scenario, got "
+            f"{type(scenario).__name__}"
+        )
+    method_label = method if isinstance(method, str) else None
+    method_factory = get_method(method) if isinstance(method, str) else method
+    if isinstance(method_factory, NCLMethod):
+        raise ConfigError(
+            "pass a method factory (registry name, class, or config -> "
+            "NCLMethod callable), not a method instance: each step needs "
+            "a fresh method"
+        )
+
+    if generator is None or experiment is None:
+        from repro.eval.scale import get_scale  # lazy: avoids eval<->scenario cycle
+
+        preset = get_scale(scale)
+        if experiment is None:
+            experiment = preset.experiment
+        if generator is None:
+            generator = SyntheticSHD(preset.shd, seed=experiment.seed)
+
+    step_iter = iter(scenario.steps(generator, experiment))
+    try:
+        first = next(step_iter)
+    except StopIteration:
+        raise DataError(f"scenario {scenario.name!r} yielded no steps") from None
+
+    # ---- session 0: pre-train on the first step's base data ----------
+    if pretrained is None:
+        pretrained = pretrain(experiment, first.split)
+    if isinstance(pretrained, PretrainResult):
+        network = pretrained.network
+    else:
+        network = pretrained
+    # R[0, 0] under the same deployment semantics as every later row:
+    # the pretrain-time test accuracy (full pretrain timesteps, static
+    # threshold) would fold the systematic timestep-reduction gap into
+    # the base task's forgetting/BWT.
+    probe = method_factory(experiment)
+    pretrain_accuracy = _task_accuracy(
+        network, first.split.pretrain_test, probe.ncl_timesteps(), probe
+    )
+
+    # Same promotion + type validation as every other entry point (a
+    # bare path becomes a spec; anything else non-spec is a ConfigError).
+    replay = resolve_replay_spec(replay, {}, caller="run_scenario")
+    federation = create_federation(replay)
+
+    # ---- sessions 1..S: one NCL run per step, then evaluate all tasks
+    task_tests: list[SpikeDataset] = [first.split.pretrain_test]
+    results: list[NCLResult] = []
+    step_names: list[str] = []
+    rows: list[list[float]] = []
+
+    step = first
+    while step is not None:
+        ncl_method = method_factory(experiment)
+        result = run_chained_step(
+            ncl_method,
+            network,
+            step.split,
+            index=step.index,
+            replay=replay,
+            federation=federation,
+        )
+        network = result.network
+        results.append(result)
+        step_names.append(step.name)
+
+        task_tests.append(step.split.new_test)
+        timesteps = ncl_method.ncl_timesteps()
+        rows.append(
+            [
+                _task_accuracy(network, dataset, timesteps, ncl_method)
+                for dataset in task_tests
+            ]
+        )
+        step = next(step_iter, None)
+
+    sessions = len(results) + 1
+    matrix = np.full((sessions, sessions), np.nan)
+    matrix[0, 0] = pretrain_accuracy
+    for i, row in enumerate(rows, start=1):
+        matrix[i, : len(row)] = row
+
+    return ScenarioResult(
+        scenario=scenario.name,
+        method=method_label if method_label is not None else probe.name,
+        steps=tuple(results),
+        step_names=tuple(step_names),
+        accuracy_matrix=matrix,
+        pretrain_accuracy=pretrain_accuracy,
+        store_root=str(replay.store_dir) if federation is not None else None,
+    )

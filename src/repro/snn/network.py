@@ -320,7 +320,7 @@ class SpikingNetwork:
         """Class predictions ``[B]`` without building a tape."""
         x = inputs.data if isinstance(inputs, Tensor) else np.asarray(inputs)
         predictions: list[np.ndarray] = []
-        flags = [(l, l.trainable) for l in self.hidden_layers]
+        flags = [(layer, layer.trainable) for layer in self.hidden_layers]
         flags.append((self.readout, self.readout.trainable))
         for module, _ in flags:
             module.set_trainable(False)

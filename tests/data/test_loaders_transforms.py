@@ -5,7 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.data import DataLoader, channel_dropout, merge_rasters, rebin_raster, time_jitter
+from repro.data import (
+    DataLoader,
+    channel_dropout,
+    drift_dataset,
+    merge_rasters,
+    rebin_raster,
+    time_jitter,
+)
 from repro.errors import DataError
 
 
@@ -165,3 +172,63 @@ class TestAugmentations:
             merge_rasters(np.zeros((5, 3, 4)), np.zeros((5, 3, 5)))
         with pytest.raises(DataError):
             merge_rasters(np.zeros((5, 3)), np.zeros((5, 3)))
+
+
+class TestDriftDataset:
+    @pytest.fixture
+    def dataset(self):
+        from repro.data import SyntheticSHD, SyntheticSHDConfig
+
+        generator = SyntheticSHD(
+            SyntheticSHDConfig(
+                num_channels=16, num_classes=3, grid_steps=20, peak_rate=90.0
+            ),
+            seed=0,
+        )
+        return generator.generate_dataset(3, split="train")
+
+    def test_labels_and_geometry_preserved(self, dataset):
+        drifted = drift_dataset(
+            dataset,
+            np.random.default_rng(0),
+            grid_steps=20,
+            max_shift=2,
+            dropout_p=0.2,
+        )
+        np.testing.assert_array_equal(drifted.labels, dataset.labels)
+        assert len(drifted) == len(dataset)
+        assert drifted.streams[0].num_channels == dataset.streams[0].num_channels
+        assert drifted.num_classes == dataset.num_classes
+
+    def test_identity_when_no_drift(self, dataset):
+        # No jitter, no dropout, no blur: the raster round-trip through
+        # EventStream.from_dense is exact at the grid resolution.
+        same = drift_dataset(dataset, np.random.default_rng(0), grid_steps=20)
+        np.testing.assert_array_equal(same.to_dense(20), dataset.to_dense(20))
+
+    def test_drift_changes_rasters_deterministically(self, dataset):
+        kwargs = dict(grid_steps=20, max_shift=3, dropout_p=0.3, blur_steps=10)
+        a = drift_dataset(dataset, np.random.default_rng(7), **kwargs)
+        b = drift_dataset(dataset, np.random.default_rng(7), **kwargs)
+        c = drift_dataset(dataset, np.random.default_rng(8), **kwargs)
+        np.testing.assert_array_equal(a.to_dense(20), b.to_dense(20))
+        assert not np.array_equal(a.to_dense(20), dataset.to_dense(20))
+        assert not np.array_equal(a.to_dense(20), c.to_dense(20))
+
+    def test_blur_merges_events(self, dataset):
+        blurred = drift_dataset(
+            dataset, np.random.default_rng(0), grid_steps=20, blur_steps=5
+        )
+        # OR-reduced rebinning can only keep or merge spikes.
+        assert blurred.to_dense(20).sum() <= dataset.to_dense(20).sum()
+
+    def test_validation(self, dataset):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataError, match="grid_steps"):
+            drift_dataset(dataset, rng, grid_steps=0)
+        with pytest.raises(DataError, match="blur_steps"):
+            drift_dataset(dataset, rng, grid_steps=20, blur_steps=21)
+        with pytest.raises(DataError, match="max_shift"):
+            drift_dataset(dataset, rng, grid_steps=20, max_shift=-1)
+        with pytest.raises(DataError):
+            drift_dataset(dataset, rng, grid_steps=20, dropout_p=1.0)

@@ -1,0 +1,78 @@
+"""Continual-learning metrics vs hand-computed values (3-step toy run)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.scenario import average_accuracy, backward_transfer, forgetting
+
+NAN = float("nan")
+
+#: Pre-train session + 3 continual steps over 4 tasks.  R[i, j] = top-1
+#: on task j after session i; upper triangle = not yet seen.
+TOY = [
+    [0.9, NAN, NAN, NAN],
+    [0.8, 0.7, NAN, NAN],
+    [0.6, 0.6, 0.8, NAN],
+    [0.5, 0.4, 0.7, 0.9],
+]
+
+
+class TestHandComputedToyTrajectory:
+    def test_average_accuracy(self):
+        # Final row mean: (0.5 + 0.4 + 0.7 + 0.9) / 4.
+        assert average_accuracy(TOY) == pytest.approx(0.625)
+
+    def test_forgetting(self):
+        # task 0: best of {0.9, 0.8, 0.6} - 0.5 = 0.4
+        # task 1: best of {0.7, 0.6}      - 0.4 = 0.3
+        # task 2: best of {0.8}           - 0.7 = 0.1
+        assert forgetting(TOY) == pytest.approx((0.4 + 0.3 + 0.1) / 3)
+
+    def test_backward_transfer(self):
+        # task 0: 0.5 - 0.9 = -0.4; task 1: 0.4 - 0.7 = -0.3;
+        # task 2: 0.7 - 0.8 = -0.1.
+        assert backward_transfer(TOY) == pytest.approx(-(0.4 + 0.3 + 0.1) / 3)
+
+    def test_forgetting_and_bwt_sign_relation(self):
+        # When the best historical accuracy sits on the diagonal (the
+        # usual monotone-decay case), forgetting == -BWT exactly.
+        assert forgetting(TOY) == pytest.approx(-backward_transfer(TOY))
+
+
+class TestEdgeCases:
+    def test_single_session(self):
+        matrix = [[0.8]]
+        assert average_accuracy(matrix) == pytest.approx(0.8)
+        assert forgetting(matrix) == 0.0
+        assert backward_transfer(matrix) == 0.0
+
+    def test_positive_backward_transfer(self):
+        # Later learning *improves* the first task: BWT > 0 while
+        # forgetting clamps at the best-so-far convention.
+        matrix = [[0.5, NAN], [0.7, 0.6]]
+        assert backward_transfer(matrix) == pytest.approx(0.2)
+        assert forgetting(matrix) == pytest.approx(-0.2)
+
+    def test_no_forgetting_when_flat(self):
+        matrix = [[0.8, NAN], [0.8, 0.9]]
+        assert forgetting(matrix) == pytest.approx(0.0)
+        assert backward_transfer(matrix) == pytest.approx(0.0)
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(DataError, match="square"):
+            average_accuracy([[0.5, 0.5]])
+
+    def test_rejects_nan_below_diagonal(self):
+        with pytest.raises(DataError, match="non-finite"):
+            forgetting([[0.5, NAN], [NAN, 0.5]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DataError, match=r"\[0, 1\]"):
+            backward_transfer([[1.5]])
+
+    def test_accepts_numpy_input(self):
+        matrix = np.asarray(TOY)
+        assert average_accuracy(matrix) == pytest.approx(0.625)

@@ -91,7 +91,7 @@ class TestCubaLayer:
     def test_network_level_config(self):
         cfg = NetworkConfig(layer_sizes=(8, 6, 4, 3), synapse_alpha=0.7)
         net = SpikingNetwork(cfg, seed=0)
-        assert all(l.synapse_alpha == 0.7 for l in net.hidden_layers)
+        assert all(layer.synapse_alpha == 0.7 for layer in net.hidden_layers)
         rng = np.random.default_rng(0)
         x = (rng.random((8, 2, 8)) < 0.3).astype(np.float32)
         assert net.forward(x).logits.shape == (2, 3)

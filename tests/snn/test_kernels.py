@@ -263,11 +263,11 @@ class TestDispatch:
         x = (rng.random((6, 2, 12)) < 0.3).astype(np.float32)
         net.set_fused(False)
         net.forward(x)
-        assert all(l.last_forward_path == "steps" for l in net.hidden_layers)
+        assert all(layer.last_forward_path == "steps" for layer in net.hidden_layers)
         assert net.readout.last_forward_path == "steps"
         net.set_fused(True)
         net.forward(x)
-        assert all(l.last_forward_path == "fused" for l in net.hidden_layers)
+        assert all(layer.last_forward_path == "fused" for layer in net.hidden_layers)
         assert net.readout.last_forward_path == "fused"
 
     def test_network_forward_bitwise_parity(self, rng):

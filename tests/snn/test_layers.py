@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor
 from repro.errors import ShapeError
 from repro.snn import LeakyReadout, LIFParameters, RecurrentLIFLayer, StaticThreshold
 

@@ -134,9 +134,9 @@ class TestSplit:
 
     def test_activations_do_not_flip_trainability(self, net, x):
         net.freeze_below(2)
-        before = [l.trainable for l in net.hidden_layers]
+        before = [layer.trainable for layer in net.hidden_layers]
         net.activations_at(2, x)
-        after = [l.trainable for l in net.hidden_layers]
+        after = [layer.trainable for layer in net.hidden_layers]
         assert before == after
 
 
@@ -168,9 +168,9 @@ class TestPredictAndController:
 
     def test_predict_restores_trainability(self, net, x):
         net.freeze_below(2)
-        before = [l.trainable for l in net.hidden_layers] + [net.readout.trainable]
+        before = [layer.trainable for layer in net.hidden_layers] + [net.readout.trainable]
         net.predict(x)
-        after = [l.trainable for l in net.hidden_layers] + [net.readout.trainable]
+        after = [layer.trainable for layer in net.hidden_layers] + [net.readout.trainable]
         assert before == after
 
     def test_predict_empty_batch(self, net):

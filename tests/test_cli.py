@@ -24,6 +24,9 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fig11" in out and "headline" in out
         assert "ci" in out and "paper" in out
+        # The registries surface here too, not just figures/scales.
+        assert "scenarios:" in out and "domain-incremental" in out
+        assert "methods:" in out and "replay4ncl" in out
 
     def test_info(self, capsys):
         assert main(["info"]) == 0
@@ -46,6 +49,48 @@ class TestCommands:
     def test_unknown_scale_is_clean_error(self, capsys):
         assert main(["run", "fig12", "--scale", "galactic"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestScenarioCommands:
+    def test_scenario_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("single-step", "sequential", "domain-incremental", "blurry"):
+            assert name in out
+        assert "methods:" in out and "spikinglr" in out
+
+    def test_scenario_run_ci(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        assert main(["scenario", "run", "single-step", "--scale", "ci"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario 'single-step'" in out
+        assert "average accuracy" in out and "backward transfer" in out
+
+    def test_scenario_run_store_backed(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        root = tmp_path / "fed"
+        assert main([
+            "scenario", "run", "single-step", "--scale", "ci",
+            "--store-dir", str(root), "--shard-samples", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"replay federation: {root}" in out
+        assert (root / "federation.json").exists()
+
+    def test_unknown_scenario_is_clean_error(self, capsys):
+        assert main(["scenario", "run", "task-free", "--scale", "ci"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_store_flags_require_store_dir(self, capsys):
+        assert main([
+            "scenario", "run", "single-step", "--scale", "ci",
+            "--shard-samples", "4",
+        ]) == 2
+        assert "require --store-dir" in capsys.readouterr().err
 
 
 @pytest.fixture

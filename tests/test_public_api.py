@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.replaystore",
     "repro.training",
     "repro.core",
+    "repro.scenario",
     "repro.hw",
     "repro.eval",
 ]
