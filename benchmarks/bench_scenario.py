@@ -1,11 +1,12 @@
 """Extension bench: the scenario-first run API (beyond the paper).
 
-Runs the two new workload families opened by `repro.scenario` —
-``domain-incremental`` (fixed classes, drifting input statistics) and
-``blurry`` (overlapping class boundaries) — end-to-end through
-``run_scenario`` and records their continual-learning metrics.  Runs at
-ci scale regardless of REPRO_BENCH_SCALE (each is a full pre-train plus
-a 2-step NCL stream).
+Runs the new workload families opened by `repro.scenario` —
+``domain-incremental`` (fixed classes, drifting input statistics),
+``blurry`` (overlapping class boundaries), and the task-IL/class-IL
+regime pair (``task-incremental`` vs ``sequential`` on the same seed) —
+end-to-end through ``run_scenario`` and records their
+continual-learning metrics.  Runs at ci scale regardless of
+REPRO_BENCH_SCALE (each is a full pre-train plus a 2-step NCL stream).
 """
 
 import numpy as np
@@ -66,3 +67,45 @@ def test_scenario_blurry_store_backed(benchmark, record_result, tmp_path):
     )
     assert result.store_root is not None
     assert result.old_accuracy_trajectory[-1] > 0.3
+
+
+def test_scenario_task_vs_class_incremental(benchmark, record_result):
+    """The regime pair: same stream, task-IL (masked) vs class-IL eval.
+
+    Training is bitwise-identical between the two runs (task ids are an
+    evaluation device only), so the whole accuracy-matrix gap is the
+    value of knowing the task id at inference.
+    """
+
+    def pair():
+        task_il = run_scenario("task-incremental", "replay4ncl", scale="ci")
+        class_il = run_scenario("sequential", "replay4ncl", scale="ci")
+        return task_il, class_il
+
+    task_il, class_il = benchmark.pedantic(pair, rounds=1, iterations=1)
+    _record_scenario(
+        record_result, task_il, "ext_scenario_task_il",
+        "Extension: task-incremental scenario (per-task readout masks)",
+    )
+    report = ExperimentResult(
+        experiment_id="ext_scenario_task_vs_class",
+        title="Extension: task-IL vs class-IL on the same class stream",
+        scale="ci",
+    )
+    report.scalars["task_il_average_accuracy"] = task_il.average_accuracy
+    report.scalars["class_il_average_accuracy"] = class_il.average_accuracy
+    report.scalars["task_id_advantage"] = (
+        task_il.average_accuracy - class_il.average_accuracy
+    )
+    report.scalars["task_il_forgetting"] = task_il.forgetting
+    report.scalars["class_il_forgetting"] = class_il.forgetting
+    record_result(report)
+
+    assert task_il.task_incremental and not class_il.task_incremental
+    # Masking can only recover argmax errors, never create them: the
+    # task-IL matrix dominates class-IL entry-wise at the same seed.
+    lower = np.tril_indices(task_il.accuracy_matrix.shape[0])
+    assert np.all(
+        task_il.accuracy_matrix[lower] >= class_il.accuracy_matrix[lower]
+    )
+    assert task_il.average_accuracy >= class_il.average_accuracy

@@ -7,6 +7,7 @@ Usage::
     python -m repro run all --scale ci        # everything, quickly
     python -m repro scenario list             # registered scenarios/methods
     python -m repro scenario run sequential --scale ci   # CL metrics for one run
+    python -m repro scenario run task-incremental --steps 2   # task-IL (masked readout)
     python -m repro info                      # version + inventory
     python -m repro store stats runs/buffer   # replay-store maintenance
     python -m repro store federate runs/seq   # compose per-task stores
@@ -54,6 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="NCL method registry name (default replay4ncl)",
     )
     scenario_run.add_argument("--scale", default="ci", help="ci | bench | paper")
+    scenario_run.add_argument(
+        "--steps", type=int, default=None,
+        help="override the scenario's steps_count (multi-step scenarios "
+        "such as sequential/task-incremental only)",
+    )
     scenario_run.add_argument(
         "--store-dir", default=None,
         help="persist replay via a store federation at this directory "
@@ -162,6 +168,21 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         _print_registries()
         return 0
 
+    scenario = args.name
+    if args.steps is not None:
+        from repro.scenario import get as get_scenario
+
+        try:
+            scenario = get_scenario(args.name, steps_count=args.steps)
+        except TypeError as error:
+            if "steps_count" not in str(error):
+                raise  # a genuine bug inside the factory, not a bad flag
+            print(
+                f"error: scenario {args.name!r} does not take --steps",
+                file=sys.stderr,
+            )
+            return 2
+
     replay = None
     if args.store_dir is not None:
         from repro.core import ReplaySpec
@@ -183,7 +204,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         )
         return 2
     result = run_scenario(
-        args.name, args.method, scale=args.scale, replay=replay
+        scenario, args.method, scale=args.scale, replay=replay
     )
     print(result.describe())
     return 0

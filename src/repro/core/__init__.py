@@ -32,6 +32,7 @@ from repro.core.replay4ncl import Replay4NCL
 from repro.core.replayspec import ReplaySpec
 from repro.core.sequential import (
     SequentialResult,
+    iter_sequential_splits,
     make_sequential_splits,
     run_sequential,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "Replay4NCL",
     "ReplaySpec",
     "SequentialResult",
+    "iter_sequential_splits",
     "make_sequential_splits",
     "run_sequential",
     "pretrain",

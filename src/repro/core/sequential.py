@@ -35,7 +35,12 @@ from repro.data.tasks import ClassIncrementalSplit
 from repro.errors import DataError
 from repro.snn.network import SpikingNetwork
 
-__all__ = ["SequentialResult", "make_sequential_splits", "run_sequential"]
+__all__ = [
+    "SequentialResult",
+    "iter_sequential_splits",
+    "make_sequential_splits",
+    "run_sequential",
+]
 
 
 def create_federation(replay: "ReplaySpec | None"):
@@ -125,19 +130,26 @@ class SequentialResult:
         return "\n".join(lines)
 
 
-def make_sequential_splits(
+def iter_sequential_splits(
     generator: SyntheticSHD,
     samples_per_class: int,
     test_samples_per_class: int,
     base_classes: int,
     steps: int,
     classes_per_step: int = 1,
-) -> list[ClassIncrementalSplit]:
-    """Build one :class:`ClassIncrementalSplit` per continual step.
+):
+    """Lazily yield one :class:`ClassIncrementalSplit` per continual step.
 
     Step k's "old" pool holds the base classes plus everything learned
     in steps ``< k`` (so replay regeneration covers all seen classes);
     its "new" set holds the next ``classes_per_step`` class ids.
+
+    Step k's datasets materialise only when the iterator reaches it
+    (:meth:`~repro.data.synthetic_shd.SyntheticSHD.generate_dataset`
+    derives every sample from ``(seed, class, sample)`` alone, so lazy
+    and eager construction are bitwise-identical) — long streams never
+    hold all their data at once.  Parameters are validated eagerly, at
+    call time.
     """
     num_classes = generator.config.num_classes
     needed = base_classes + steps * classes_per_step
@@ -148,17 +160,16 @@ def make_sequential_splits(
             f"scenario needs {needed} classes but the generator has {num_classes}"
         )
 
-    splits = []
-    for k in range(steps):
-        seen = list(range(base_classes + k * classes_per_step))
-        new = list(
-            range(
-                base_classes + k * classes_per_step,
-                base_classes + (k + 1) * classes_per_step,
+    def generate():
+        for k in range(steps):
+            seen = list(range(base_classes + k * classes_per_step))
+            new = list(
+                range(
+                    base_classes + k * classes_per_step,
+                    base_classes + (k + 1) * classes_per_step,
+                )
             )
-        )
-        splits.append(
-            ClassIncrementalSplit(
+            yield ClassIncrementalSplit(
                 pretrain_train=generator.generate_dataset(
                     samples_per_class, split="train", classes=seen
                 ),
@@ -174,8 +185,29 @@ def make_sequential_splits(
                 old_classes=tuple(seen),
                 new_classes=tuple(new),
             )
+
+    return generate()
+
+
+def make_sequential_splits(
+    generator: SyntheticSHD,
+    samples_per_class: int,
+    test_samples_per_class: int,
+    base_classes: int,
+    steps: int,
+    classes_per_step: int = 1,
+) -> list[ClassIncrementalSplit]:
+    """Eager list form of :func:`iter_sequential_splits` (same splits)."""
+    return list(
+        iter_sequential_splits(
+            generator,
+            samples_per_class,
+            test_samples_per_class,
+            base_classes=base_classes,
+            steps=steps,
+            classes_per_step=classes_per_step,
         )
-    return splits
+    )
 
 
 def run_sequential(

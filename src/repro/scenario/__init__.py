@@ -10,10 +10,11 @@ and task-incremental, online/blurry streams.  This package makes the
   :class:`~repro.data.tasks.ClassIncrementalSplit` plus per-step
   metadata).
 - a name registry (:func:`register` / :func:`get` / :func:`available`)
-  with four built-ins: ``single-step`` (the paper's protocol),
-  ``sequential`` (a stream of new classes), ``domain-incremental``
-  (fixed classes, drifting input statistics), and ``blurry``
-  (overlapping class boundaries).
+  with five built-ins: ``single-step`` (the paper's protocol),
+  ``sequential`` (a stream of new classes), ``task-incremental`` (the
+  same stream with the task id known at inference — per-task readout
+  masks), ``domain-incremental`` (fixed classes, drifting input
+  statistics), and ``blurry`` (overlapping class boundaries).
 - :func:`run_scenario` — one entry point: pre-train, chain one NCL run
   per step (optionally store-backed via a single
   :class:`~repro.core.replayspec.ReplaySpec`), and score the whole
@@ -33,8 +34,14 @@ from repro.scenario.builtin import (  # importing registers the built-ins
     DomainIncrementalScenario,
     SequentialScenario,
     SingleStepScenario,
+    TaskIncrementalScenario,
 )
-from repro.scenario.metrics import average_accuracy, backward_transfer, forgetting
+from repro.scenario.metrics import (
+    average_accuracy,
+    backward_transfer,
+    class_mask,
+    forgetting,
+)
 from repro.scenario.registry import available, get, register
 from repro.scenario.runner import ScenarioResult, run_scenario
 
@@ -46,11 +53,13 @@ __all__ = [
     "available",
     "SingleStepScenario",
     "SequentialScenario",
+    "TaskIncrementalScenario",
     "DomainIncrementalScenario",
     "BlurryScenario",
     "average_accuracy",
     "forgetting",
     "backward_transfer",
+    "class_mask",
     "ScenarioResult",
     "run_scenario",
 ]

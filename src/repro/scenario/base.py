@@ -45,12 +45,23 @@ class ContinualStep:
     info:
         Scenario-specific metadata (drift severity, blur fraction,
         class layout...).  Purely descriptive — methods never read it.
+    task_classes:
+        Task membership for task-incremental evaluation, or ``None``
+        (the default) for task-agnostic settings.  When set on the step
+        of index ``k``, it holds one class group per task seen so far —
+        ``task_classes[0]`` is the pre-training base task and
+        ``task_classes[j]`` (``1 <= j <= k+1``) the classes that arrived
+        at continual step ``j-1`` — so it always has ``k + 2`` groups.
+        :func:`~repro.scenario.runner.run_scenario` masks the readout to
+        ``task_classes[j]`` when evaluating task ``j`` (the task id is
+        available at inference, the defining property of task-IL).
     """
 
     index: int
     split: ClassIncrementalSplit
     name: str
     info: dict = field(default_factory=dict)
+    task_classes: tuple[tuple[int, ...], ...] | None = None
 
 
 @runtime_checkable

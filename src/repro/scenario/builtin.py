@@ -1,4 +1,4 @@
-"""The four built-in scenarios.
+"""The five built-in scenarios.
 
 Continual-learning surveys distinguish several settings by *what
 changes* between steps; each built-in maps one onto the shared
@@ -7,7 +7,12 @@ changes* between steps; each built-in maps one onto the shared
 - ``single-step`` — the paper's 19+1 class-incremental evaluation: one
   step, one new class set.
 - ``sequential`` — a stream of class-incremental steps (wraps
-  :func:`~repro.core.sequential.make_sequential_splits`).
+  :func:`~repro.core.sequential.iter_sequential_splits`).
+- ``task-incremental`` — the same class stream, but every step carries
+  its task membership (:attr:`ContinualStep.task_classes`), so
+  evaluation runs with the task id known and the readout masked to the
+  active task's classes (the task-IL regime; training is identical to
+  ``sequential`` at the same seed — only inference changes).
 - ``domain-incremental`` — the label space is fixed; the *input
   statistics* drift step by step (temporal blur, onset jitter, dying
   channels via :func:`~repro.data.transforms.drift_dataset`).
@@ -15,9 +20,17 @@ changes* between steps; each built-in maps one onto the shared
   step's training stream is dominated by its new classes but carries a
   minority blend of already-seen classes (the online/blurry setting).
 
-All four are lazy: datasets materialise only as ``steps()`` is
-iterated.  Everything is deterministic given ``(generator, experiment)``
-— per-step randomness is spawned from ``experiment.seed``.
+All five are lazy: datasets materialise only as ``steps()`` is
+iterated — class streams generate step k's datasets only when the
+iterator reaches it.  Everything is deterministic given
+``(generator, experiment)`` — per-step randomness is spawned from
+``experiment.seed``.
+
+Each built-in also declares ``disjoint_eval``: ``True`` promises that
+every step's ``new_test`` covers only that step's new classes, disjoint
+from the old pool (the conformance suite checks the promise for every
+registered scenario that makes it); ``domain-incremental`` sets it to
+``False`` — its "new" task is the same label space under drift.
 """
 
 from __future__ import annotations
@@ -27,7 +40,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.config import ExperimentConfig
-from repro.core.sequential import make_sequential_splits
+from repro.core.sequential import iter_sequential_splits
 from repro.data.synthetic_shd import SyntheticSHD
 from repro.data.tasks import ClassIncrementalSplit, make_class_incremental
 from repro.data.transforms import drift_dataset
@@ -39,6 +52,7 @@ from repro.seeding import spawn
 __all__ = [
     "SingleStepScenario",
     "SequentialScenario",
+    "TaskIncrementalScenario",
     "DomainIncrementalScenario",
     "BlurryScenario",
 ]
@@ -56,6 +70,7 @@ class SingleStepScenario:
     num_pretrain_classes: int | None = None
 
     name = "single-step"
+    disjoint_eval = True
 
     def describe(self) -> str:
         return "one class-incremental step: pre-train on the old classes, +new"
@@ -113,6 +128,7 @@ class SequentialScenario:
     base_classes: int | None = None
 
     name = "sequential"
+    disjoint_eval = True
 
     def __post_init__(self):
         if self.steps_count <= 0:
@@ -126,17 +142,20 @@ class SequentialScenario:
             f"{self.classes_per_step} new class(es) each"
         )
 
-    def steps(
-        self, generator: SyntheticSHD, experiment: ExperimentConfig
-    ) -> Iterator[ContinualStep]:
-        base = (
+    def _resolved_base(self, generator: SyntheticSHD) -> int:
+        return (
             self.base_classes
             if self.base_classes is not None
             else _default_base_classes(
                 generator, self.steps_count, self.classes_per_step
             )
         )
-        splits = make_sequential_splits(
+
+    def steps(
+        self, generator: SyntheticSHD, experiment: ExperimentConfig
+    ) -> Iterator[ContinualStep]:
+        base = self._resolved_base(generator)
+        splits = iter_sequential_splits(
             generator,
             experiment.samples_per_class,
             experiment.test_samples_per_class,
@@ -150,6 +169,58 @@ class SequentialScenario:
                 split=split,
                 name=f"step-{k}: +classes {list(split.new_classes)}",
                 info={"new_classes": split.new_classes},
+            )
+
+
+@dataclass(frozen=True)
+class TaskIncrementalScenario(SequentialScenario):
+    """The ``sequential`` class stream evaluated task-incrementally.
+
+    Standard continual-learning taxonomy (van de Ven & Tolias; the
+    neuromorphic-CL surveys) splits incremental class streams into two
+    regimes: *class-incremental* (inference must pick among all classes
+    seen so far) and *task-incremental* (the task id is available at
+    inference, so the readout is masked to the active task's classes).
+    Latent-replay systems report both — task-IL is the easier regime
+    with the milder forgetting profile.
+
+    Data layout and training are **identical** to
+    :class:`SequentialScenario` at the same parameters and seed (the
+    splits are bitwise the same; replay and the optimizer never see the
+    task ids).  The only difference: every step carries
+    :attr:`~repro.scenario.base.ContinualStep.task_classes` — one class
+    group per task seen so far, base task first — which
+    :func:`~repro.scenario.runner.run_scenario` uses to mask the
+    readout per evaluated task.  Masking can only help a task whose
+    true class is in its own group, so the task-IL accuracy matrix
+    dominates the class-IL one entry-wise for the same trained network.
+    """
+
+    name = "task-incremental"
+    disjoint_eval = True
+
+    def describe(self) -> str:
+        return (
+            f"{self.steps_count} task-incremental steps, "
+            f"{self.classes_per_step} new class(es) each "
+            "(task id known at inference: per-task readout masks)"
+        )
+
+    def steps(
+        self, generator: SyntheticSHD, experiment: ExperimentConfig
+    ) -> Iterator[ContinualStep]:
+        # One source of truth for the class layout: decorate the parent
+        # stream with task membership read off each split (task 0 is the
+        # first step's base pool; task j > 0 is step j-1's new classes).
+        groups: list[tuple[int, ...]] = []
+        for step in super().steps(generator, experiment):
+            if not groups:
+                groups.append(step.split.old_classes)
+            groups.append(step.split.new_classes)
+            yield dataclasses.replace(
+                step,
+                name=f"step-{step.index}: +task {list(step.split.new_classes)}",
+                task_classes=tuple(groups),
             )
 
 
@@ -177,6 +248,9 @@ class DomainIncrementalScenario:
     blur: bool = True
 
     name = "domain-incremental"
+    #: The "new" task is the same label space under drift — eval sets
+    #: intentionally share classes.
+    disjoint_eval = False
 
     def __post_init__(self):
         if self.steps_count <= 0:
@@ -252,6 +326,8 @@ class BlurryScenario:
     blur_fraction: float = 0.25
 
     name = "blurry"
+    #: The *streams* overlap, but evaluation stays disjoint per task.
+    disjoint_eval = True
 
     def __post_init__(self):
         if self.steps_count <= 0:
@@ -279,7 +355,7 @@ class BlurryScenario:
                 generator, self.steps_count, self.classes_per_step
             )
         )
-        splits = make_sequential_splits(
+        splits = iter_sequential_splits(
             generator,
             experiment.samples_per_class,
             experiment.test_samples_per_class,
@@ -310,5 +386,6 @@ class BlurryScenario:
 
 register("single-step", SingleStepScenario)
 register("sequential", SequentialScenario)
+register("task-incremental", TaskIncrementalScenario)
 register("domain-incremental", DomainIncrementalScenario)
 register("blurry", BlurryScenario)

@@ -28,7 +28,31 @@ import numpy as np
 
 from repro.errors import DataError
 
-__all__ = ["average_accuracy", "forgetting", "backward_transfer"]
+__all__ = ["average_accuracy", "forgetting", "backward_transfer", "class_mask"]
+
+
+def class_mask(classes, num_classes: int) -> np.ndarray:
+    """Boolean readout mask ``[num_classes]`` selecting ``classes``.
+
+    The bridge from a task's class group (as scenarios carry it in
+    :attr:`~repro.scenario.base.ContinualStep.task_classes`) to the
+    ``class_mask`` argument of
+    :meth:`~repro.snn.network.SpikingNetwork.predict` — task-incremental
+    evaluation restricts each task's inference to its own label space.
+    """
+    if num_classes <= 0:
+        raise DataError(f"num_classes must be positive, got {num_classes}")
+    indices = np.unique(np.asarray(list(classes), dtype=np.int64))
+    if indices.size == 0:
+        raise DataError("class_mask needs at least one class")
+    if indices.min() < 0 or indices.max() >= num_classes:
+        raise DataError(
+            f"class ids must lie in [0, {num_classes}), got "
+            f"[{indices.min()}, {indices.max()}]"
+        )
+    mask = np.zeros(num_classes, dtype=bool)
+    mask[indices] = True
+    return mask
 
 
 def _validated(matrix) -> np.ndarray:

@@ -4,7 +4,7 @@ Mirrors the method registry in :mod:`repro.core.registry`: a *scenario
 factory* is any callable returning a :class:`~repro.scenario.base.Scenario`
 (typically the scenario class itself); :func:`get` instantiates one,
 forwarding keyword arguments, and verifies the result structurally
-satisfies the protocol.  The four built-ins register on import of
+satisfies the protocol.  The five built-ins register on import of
 :mod:`repro.scenario`.
 """
 

@@ -8,6 +8,16 @@ governed by a single :class:`~repro.core.replayspec.ReplaySpec` — and
 evaluate the network on **every task seen so far after every step**,
 producing the accuracy matrix the standard continual-learning metrics
 (:mod:`repro.scenario.metrics`) are defined on.
+
+Task-incremental scenarios (steps carrying
+:attr:`~repro.scenario.base.ContinualStep.task_classes`) are evaluated
+with the task id known at inference: every matrix entry ``R[i, j]`` —
+including the pre-training row — is measured with the readout masked to
+task ``j``'s class group (:func:`~repro.scenario.metrics.class_mask`
+into :meth:`~repro.snn.network.SpikingNetwork.predict`), so average
+accuracy, forgetting, and BWT all read under masked inference.
+Training is never masked — only evaluation changes between the class-
+and task-incremental regimes.
 """
 
 from __future__ import annotations
@@ -31,8 +41,13 @@ from repro.core.strategies import NCLMethod, NCLResult
 from repro.data.datasets import SpikeDataset
 from repro.data.synthetic_shd import SyntheticSHD
 from repro.errors import ConfigError, DataError
-from repro.scenario.base import Scenario
-from repro.scenario.metrics import average_accuracy, backward_transfer, forgetting
+from repro.scenario.base import ContinualStep, Scenario
+from repro.scenario.metrics import (
+    average_accuracy,
+    backward_transfer,
+    class_mask,
+    forgetting,
+)
 from repro.scenario.registry import get
 from repro.snn.network import SpikingNetwork
 from repro.training.metrics import top1_accuracy
@@ -67,6 +82,11 @@ class ScenarioResult:
         same NCL deployment semantics as the rest of the matrix).
     store_root:
         Federation root when the run was store-backed; None when dense.
+    task_classes:
+        The final step's per-task class groups when the scenario is
+        task-incremental (every matrix entry ``R[i, j]`` was then
+        measured with the readout masked to ``task_classes[j]``); None
+        for task-agnostic scenarios, whose matrix is measured unmasked.
     """
 
     scenario: str
@@ -76,6 +96,12 @@ class ScenarioResult:
     accuracy_matrix: np.ndarray
     pretrain_accuracy: float
     store_root: str | None = None
+    task_classes: tuple[tuple[int, ...], ...] | None = None
+
+    @property
+    def task_incremental(self) -> bool:
+        """Whether the matrix was measured under per-task readout masks."""
+        return self.task_classes is not None
 
     # -- standard CL metrics -------------------------------------------
     @property
@@ -126,6 +152,11 @@ class ScenarioResult:
                 f"new={step.final_new_accuracy:.3f} "
                 f"overall={step.final_overall_accuracy:.3f}"
             )
+        if self.task_incremental:
+            lines.append(
+                "  task-incremental eval: readout masked to each task's "
+                f"classes ({len(self.task_classes)} tasks)"
+            )
         lines.append(
             f"  average accuracy {self.average_accuracy:.3f} | "
             f"forgetting {self.forgetting:+.3f} | "
@@ -141,19 +172,55 @@ def _task_accuracy(
     dataset: SpikeDataset,
     timesteps: int,
     method: NCLMethod,
+    mask: np.ndarray | None = None,
 ) -> float:
     """Top-1 on one task's test set under the method's deployment semantics.
 
     Matches the evaluators inside :meth:`NCLMethod.run`: the frozen
     front keeps its static pre-trained threshold; adaptive thresholds
-    apply from the insertion layer up.
+    apply from the insertion layer up.  ``mask`` restricts the readout
+    to the active task's classes (task-incremental inference); ``None``
+    evaluates over the full label space.
     """
     predictions = network.predict(
         dataset.to_dense(timesteps),
         controller=method.make_controller(),
         controller_from_layer=method.insertion_layer(),
+        class_mask=mask,
     )
     return top1_accuracy(predictions, dataset.labels)
+
+
+def _step_masks(
+    step: ContinualStep, num_tasks: int, num_classes: int, task_aware: bool
+) -> "list[np.ndarray | None]":
+    """Per-task readout masks for one evaluation row (None = unmasked).
+
+    A scenario is task-incremental iff its *first* step carries
+    ``task_classes``; every later step must then carry one group per
+    task seen so far (``num_tasks`` of them) — a scenario that flips
+    mid-stream, or under-/over-counts its tasks, is malformed.
+    """
+    if not task_aware:
+        if step.task_classes is not None:
+            raise DataError(
+                f"step {step.index} carries task_classes but the scenario's "
+                "first step did not — task membership must be declared from "
+                "the start"
+            )
+        return [None] * num_tasks
+    if step.task_classes is None:
+        raise DataError(
+            f"step {step.index} carries no task_classes but the scenario's "
+            "first step did — task membership must cover every step"
+        )
+    if len(step.task_classes) != num_tasks:
+        raise DataError(
+            f"step {step.index} declares {len(step.task_classes)} task "
+            f"class groups, expected {num_tasks} (base task + one per step "
+            "seen so far)"
+        )
+    return [class_mask(group, num_classes) for group in step.task_classes]
 
 
 def run_scenario(
@@ -227,6 +294,15 @@ def run_scenario(
     except StopIteration:
         raise DataError(f"scenario {scenario.name!r} yielded no steps") from None
 
+    # Task-incremental iff the first step declares task membership; the
+    # base task's row is then masked to its own class group like every
+    # later entry of column 0.  Validate the first step's groups *now* —
+    # a malformed task-IL scenario must fail before the expensive
+    # pre-training and step-0 NCL runs, not after them.
+    task_aware = first.task_classes is not None
+    num_classes = experiment.network.layer_sizes[-1]
+    first_masks = _step_masks(first, 2, num_classes, task_aware)
+
     # ---- session 0: pre-train on the first step's base data ----------
     if pretrained is None:
         pretrained = pretrain(experiment, first.split)
@@ -239,8 +315,13 @@ def run_scenario(
     # threshold) would fold the systematic timestep-reduction gap into
     # the base task's forgetting/BWT.
     probe = method_factory(experiment)
+    pretrain_mask = first_masks[0]
     pretrain_accuracy = _task_accuracy(
-        network, first.split.pretrain_test, probe.ncl_timesteps(), probe
+        network,
+        first.split.pretrain_test,
+        probe.ncl_timesteps(),
+        probe,
+        mask=pretrain_mask,
     )
 
     # Same promotion + type validation as every other entry point (a
@@ -254,6 +335,7 @@ def run_scenario(
     step_names: list[str] = []
     rows: list[list[float]] = []
 
+    final_task_classes: tuple[tuple[int, ...], ...] | None = None
     step = first
     while step is not None:
         ncl_method = method_factory(experiment)
@@ -270,11 +352,13 @@ def run_scenario(
         step_names.append(step.name)
 
         task_tests.append(step.split.new_test)
+        masks = _step_masks(step, len(task_tests), num_classes, task_aware)
+        final_task_classes = step.task_classes
         timesteps = ncl_method.ncl_timesteps()
         rows.append(
             [
-                _task_accuracy(network, dataset, timesteps, ncl_method)
-                for dataset in task_tests
+                _task_accuracy(network, dataset, timesteps, ncl_method, mask=mask)
+                for dataset, mask in zip(task_tests, masks)
             ]
         )
         step = next(step_iter, None)
@@ -293,4 +377,5 @@ def run_scenario(
         accuracy_matrix=matrix,
         pretrain_accuracy=pretrain_accuracy,
         store_root=str(replay.store_dir) if federation is not None else None,
+        task_classes=final_task_classes,
     )

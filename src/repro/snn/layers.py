@@ -30,7 +30,13 @@ from repro.snn.init import dense_init, recurrent_init
 from repro.snn.neurons import LIFParameters, cuba_lif_step, lif_step
 from repro.snn.threshold import StaticThreshold, ThresholdController
 
-__all__ = ["RecurrentLIFLayer", "LeakyReadout"]
+__all__ = ["RecurrentLIFLayer", "LeakyReadout", "MASKED_LOGIT"]
+
+#: Additive logit penalty for classes outside an active ``class_mask``.
+#: Finite (not ``-inf``) so masked logits stay NaN-free under arithmetic,
+#: yet far below any reachable membrane value, so a masked class can
+#: never win an argmax.
+MASKED_LOGIT = -1.0e9
 
 
 def _static_threshold(controller: "ThresholdController | None", default: float):
@@ -266,8 +272,22 @@ class LeakyReadout:
             )
         self.w_ff.data = state["w_ff"].copy()
 
-    def forward(self, inputs: Tensor | np.ndarray) -> Tensor:
-        """Integrate the sequence; return logits ``[B, n_out]``."""
+    def forward(
+        self,
+        inputs: Tensor | np.ndarray,
+        class_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Integrate the sequence; return logits ``[B, n_out]``.
+
+        ``class_mask`` is an optional boolean vector ``[n_out]`` selecting
+        the classes the readout may answer with (task-incremental
+        inference: the task id restricts the label space).  Classes
+        outside the mask receive an additive :data:`MASKED_LOGIT` penalty
+        after integration, so both the fused and the per-step path
+        support masking identically and gradients still flow to every
+        logit.  A full mask is skipped entirely — the output is
+        bitwise-identical to passing ``None``.
+        """
         x = inputs if isinstance(inputs, Tensor) else Tensor(inputs)
         if x.ndim != 3:
             raise ShapeError(f"expected [T, B, n_in] input, got shape {x.shape}")
@@ -275,11 +295,33 @@ class LeakyReadout:
             raise ShapeError(
                 f"input feature dim {x.shape[2]} != readout fan-in {self.n_in}"
             )
+        mask = self._resolve_mask(class_mask)
         needs_graph = self.trainable or x.requires_grad
         if not needs_graph:
             with no_grad():
-                return self._integrate(x)
-        return self._integrate(x)
+                return self._mask(self._integrate(x), mask)
+        return self._mask(self._integrate(x), mask)
+
+    def _resolve_mask(self, class_mask) -> np.ndarray | None:
+        """Validate a class mask; None also for a full (no-op) mask."""
+        if class_mask is None:
+            return None
+        mask = np.asarray(class_mask)
+        if mask.shape != (self.n_out,):
+            raise ShapeError(
+                f"class_mask must have shape ({self.n_out},), got {tuple(mask.shape)}"
+            )
+        mask = mask.astype(bool)
+        if not mask.any():
+            raise ConfigError("class_mask must keep at least one class")
+        if mask.all():
+            return None
+        return mask
+
+    def _mask(self, logits: Tensor, mask: np.ndarray | None) -> Tensor:
+        if mask is None:
+            return logits
+        return logits + Tensor(np.where(mask, 0.0, MASKED_LOGIT))
 
     def _integrate(self, x: Tensor) -> Tensor:
         if self.use_fused and 0.0 < self.beta < 1.0 and kernels.fused_enabled():

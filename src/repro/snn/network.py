@@ -198,6 +198,7 @@ class SpikingNetwork:
         controller=None,
         record_spikes: bool = False,
         controller_from_layer: int = 0,
+        class_mask: np.ndarray | None = None,
     ) -> ForwardResult:
         """Run weight layers ``start_layer .. L-1``.
 
@@ -219,6 +220,11 @@ class SpikingNetwork:
             layers run at their static threshold.  NCL evaluation uses
             this to confine adaptive thresholds to the *learning* layers
             (Alg. 1 adapts ``netl``, not the frozen front).
+        class_mask:
+            Optional boolean ``[num_classes]`` readout mask restricting
+            the logits to the active task's classes (task-incremental
+            inference).  ``None`` or a full mask leaves the logits
+            bitwise-unchanged; see :meth:`LeakyReadout.forward`.
         """
         x = inputs if isinstance(inputs, Tensor) else Tensor(inputs)
         self._check_layer_index(start_layer)
@@ -257,7 +263,7 @@ class SpikingNetwork:
                 recorded.append(out)
             activations = out
 
-        logits = self.readout.forward(activations)
+        logits = self.readout.forward(activations, class_mask=class_mask)
         trace.add(
             LayerTraceEntry(
                 name=self.readout.name,
@@ -316,8 +322,14 @@ class SpikingNetwork:
         start_layer: int = 0,
         controller=None,
         controller_from_layer: int = 0,
+        class_mask: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Class predictions ``[B]`` without building a tape."""
+        """Class predictions ``[B]`` without building a tape.
+
+        ``class_mask`` restricts the argmax to the active task's classes
+        (task-incremental inference); ``None``/full mask is a bitwise
+        no-op.
+        """
         x = inputs.data if isinstance(inputs, Tensor) else np.asarray(inputs)
         predictions: list[np.ndarray] = []
         flags = [(layer, layer.trainable) for layer in self.hidden_layers]
@@ -332,6 +344,7 @@ class SpikingNetwork:
                     start_layer=start_layer,
                     controller=controller,
                     controller_from_layer=controller_from_layer,
+                    class_mask=class_mask,
                 )
                 predictions.append(result.logits.data.argmax(axis=1))
         finally:

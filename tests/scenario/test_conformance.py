@@ -1,0 +1,315 @@
+"""Registry-wide scenario conformance suite.
+
+Parametrized over :func:`repro.scenario.available` **at collection
+time**, so every registered scenario — the five built-ins and any
+third-party scenario ``register()``'d before this module is collected —
+inherits the same invariant coverage for free:
+
+- protocol conformance (``name``/``describe()``/``steps()`` as the
+  :class:`~repro.scenario.base.Scenario` protocol specifies, with the
+  registry name round-tripping);
+- lazy step construction (``steps()`` returns a lazy iterator and does
+  not touch the generator before iteration);
+- same-seed determinism (two materialisations from fresh same-seed
+  generators are bitwise-identical, datasets included);
+- disjoint eval sets, for every scenario that *promises* them via a
+  ``disjoint_eval = True`` attribute (``domain-incremental``
+  intentionally does not — its "new" task is the same label space
+  under drift);
+- ``as_sequential()`` interop of the scenario's
+  :class:`~repro.scenario.runner.ScenarioResult`.
+
+The check functions are module-level so they can also be aimed at
+deliberately broken scenarios: the suite must *fail* for a non-lazy or
+non-deterministic implementation, and those failures are demonstrated
+below (``TestConformanceCatchesViolations``).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_shd import SyntheticSHD
+from repro.data.tasks import make_class_incremental
+from repro.eval.scale import get_scale
+from repro.scenario import Scenario, available, get, register, run_scenario
+from repro.scenario import registry as registry_module
+
+#: Snapshot at collection time: one parametrization per registered
+#: scenario.  Register before import/collection to join the suite.
+NAMES = available()
+
+#: Safety cap for the conformance walks — a registered scenario may
+#: describe an arbitrarily long stream; conformance only needs a prefix.
+MAX_STEPS = 16
+
+#: Coarse raster used for bitwise dataset comparison (any fixed value
+#: works: `to_dense` is deterministic per dataset).
+DENSE_T = 8
+
+
+@pytest.fixture(scope="module")
+def env():
+    preset = get_scale("ci")
+    # Small sample counts: the structural checks never train anything.
+    experiment = preset.experiment.replace(
+        samples_per_class=4, test_samples_per_class=2
+    )
+    return preset, experiment
+
+
+# ---------------------------------------------------------------------------
+# Check functions (reused below against deliberately broken scenarios)
+# ---------------------------------------------------------------------------
+
+
+class _ForbiddenGenerator:
+    """Explodes on any use: ``steps()`` must not do data work eagerly."""
+
+    def __getattr__(self, attr):
+        raise AssertionError(
+            f"steps() touched generator.{attr} before the iterator was "
+            "advanced — step construction must be lazy"
+        )
+
+
+def check_protocol(scenario, registered_name: str) -> None:
+    """Structural Scenario conformance + registry-name round-trip."""
+    assert isinstance(scenario, Scenario), (
+        f"{type(scenario).__name__} does not satisfy the Scenario protocol"
+    )
+    assert scenario.name == registered_name, (
+        f"scenario.name {scenario.name!r} != registry name {registered_name!r}"
+    )
+    description = scenario.describe()
+    assert isinstance(description, str) and description.strip(), (
+        "describe() must return a non-empty one-line summary"
+    )
+
+
+def check_lazy_steps(scenario, experiment) -> None:
+    """``steps()`` returns a lazy iterator and defers all data work."""
+    iterator = scenario.steps(_ForbiddenGenerator(), experiment)
+    assert iter(iterator) is iterator, (
+        "steps() must return a lazy iterator, not a materialised sequence"
+    )
+
+
+def _materialise(scenario, preset, experiment):
+    """Steps from a fresh same-seed generator, flattened for comparison."""
+    generator = SyntheticSHD(preset.shd, seed=experiment.seed)
+    steps = list(
+        itertools.islice(scenario.steps(generator, experiment), MAX_STEPS)
+    )
+    assert steps, f"scenario {scenario.name!r} yielded no steps"
+    return steps
+
+
+def check_deterministic(scenario, preset, experiment) -> None:
+    """Two same-seed materialisations are bitwise-identical."""
+    first = _materialise(scenario, preset, experiment)
+    second = _materialise(scenario, preset, experiment)
+    assert len(first) == len(second)
+    for a, b in zip(first, second):
+        assert a.index == b.index
+        assert a.name == b.name, (
+            f"step {a.index} name differs across same-seed runs: "
+            f"{a.name!r} vs {b.name!r}"
+        )
+        assert repr(a.info) == repr(b.info)
+        assert a.task_classes == b.task_classes
+        for field in ("pretrain_train", "pretrain_test", "new_train", "new_test"):
+            da, db = getattr(a.split, field), getattr(b.split, field)
+            np.testing.assert_array_equal(da.labels, db.labels)
+            np.testing.assert_array_equal(
+                da.to_dense(DENSE_T), db.to_dense(DENSE_T)
+            )
+
+
+def check_disjoint_eval(scenario, preset, experiment) -> None:
+    """Every step's eval sets honour a ``disjoint_eval = True`` promise."""
+    for step in _materialise(scenario, preset, experiment):
+        old = set(step.split.old_classes)
+        new = set(step.split.new_classes)
+        assert not old & new, (
+            f"step {step.index}: old and new class sets overlap: {old & new}"
+        )
+        assert set(step.split.new_test.labels.tolist()) <= new, (
+            f"step {step.index}: new_test carries labels outside new_classes"
+        )
+        assert set(step.split.pretrain_test.labels.tolist()) <= old, (
+            f"step {step.index}: pretrain_test carries labels outside "
+            "old_classes"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The registry-wide suite
+# ---------------------------------------------------------------------------
+
+
+class TestRegisteredScenarioConformance:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_protocol(self, name):
+        check_protocol(get(name), name)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_lazy_step_construction(self, name, env):
+        _, experiment = env
+        check_lazy_steps(get(name), experiment)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_same_seed_determinism(self, name, env):
+        preset, experiment = env
+        check_deterministic(get(name), preset, experiment)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_disjoint_eval_where_promised(self, name, env):
+        preset, experiment = env
+        scenario = get(name)
+        if getattr(scenario, "disjoint_eval", False) is not True:
+            pytest.skip(f"{name} does not promise disjoint eval sets")
+        check_disjoint_eval(scenario, preset, experiment)
+
+
+@pytest.fixture(scope="module")
+def tiny_runs(env):
+    """One ultra-short end-to-end run per scenario, computed on demand."""
+    preset, base = env
+    experiment = base.replace(
+        pretrain=base.pretrain.replace(epochs=1),
+        ncl=base.ncl.replace(epochs=1),
+    )
+    generator = SyntheticSHD(preset.shd, seed=experiment.seed)
+    cache = {}
+
+    def run(name):
+        if name not in cache:
+            cache[name] = run_scenario(
+                name, "replay4ncl", generator=generator, experiment=experiment
+            )
+        return cache[name]
+
+    return run
+
+
+class TestAsSequentialInterop:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_as_sequential(self, name, tiny_runs):
+        result = tiny_runs(name)
+        seq = result.as_sequential()
+        assert seq.steps == result.steps
+        assert seq.store_root == result.store_root
+        assert seq.final_network is result.steps[-1].network
+        assert seq.old_accuracy_trajectory == result.old_accuracy_trajectory
+        assert seq.new_accuracy_trajectory == result.new_accuracy_trajectory
+
+
+# ---------------------------------------------------------------------------
+# The suite must fail for broken scenarios — demonstrated directly
+# ---------------------------------------------------------------------------
+
+
+class _EagerScenario:
+    """Materialises its data inside ``steps()`` — the non-lazy offender."""
+
+    name = "bad-eager"
+    disjoint_eval = True
+
+    def describe(self):
+        return "touches the generator before iteration"
+
+    def steps(self, generator, experiment):
+        split = make_class_incremental(
+            generator,
+            experiment.samples_per_class,
+            experiment.test_samples_per_class,
+        )
+        from repro.scenario import ContinualStep
+
+        return [ContinualStep(index=0, split=split, name="step-0")]
+
+
+class _ListScenario:
+    """Lazy about data but returns a materialised list, not an iterator."""
+
+    name = "bad-list"
+
+    def describe(self):
+        return "returns a list from steps()"
+
+    def steps(self, generator, experiment):
+        return []
+
+
+class _FlakyScenario:
+    """Step labels differ between same-seed materialisations."""
+
+    _counter = itertools.count()
+    name = "bad-flaky"
+
+    def describe(self):
+        return "non-deterministic step names"
+
+    def steps(self, generator, experiment):
+        split = make_class_incremental(
+            generator,
+            experiment.samples_per_class,
+            experiment.test_samples_per_class,
+        )
+        from repro.scenario import ContinualStep
+
+        yield ContinualStep(
+            index=0, split=split, name=f"step-{next(self._counter)}"
+        )
+
+
+class TestConformanceCatchesViolations:
+    def test_rejects_eager_scenario(self, env):
+        _, experiment = env
+        with pytest.raises(AssertionError, match="touched generator"):
+            check_lazy_steps(_EagerScenario(), experiment)
+
+    def test_rejects_materialised_sequence(self, env):
+        _, experiment = env
+        with pytest.raises(AssertionError, match="lazy iterator"):
+            check_lazy_steps(_ListScenario(), experiment)
+
+    def test_rejects_non_deterministic_scenario(self, env):
+        preset, experiment = env
+        with pytest.raises(AssertionError, match="differs across same-seed"):
+            check_deterministic(_FlakyScenario(), preset, experiment)
+
+    def test_checks_cover_third_party_registrations(self, env):
+        # A well-formed third-party scenario passes the exact same check
+        # functions the registry-wide suite applies — registering before
+        # collection is all it takes to inherit them as tests.
+        preset, experiment = env
+
+        class ThirdParty:
+            name = "third-party-ok"
+            disjoint_eval = True
+
+            def describe(self):
+                return "a conforming external scenario"
+
+            def steps(self, generator, experiment):
+                split = make_class_incremental(
+                    generator,
+                    experiment.samples_per_class,
+                    experiment.test_samples_per_class,
+                )
+                from repro.scenario import ContinualStep
+
+                yield ContinualStep(index=0, split=split, name="step-0")
+
+        register("third-party-ok", ThirdParty)
+        try:
+            scenario = get("third-party-ok")
+            check_protocol(scenario, "third-party-ok")
+            check_lazy_steps(scenario, experiment)
+            check_deterministic(scenario, preset, experiment)
+            check_disjoint_eval(scenario, preset, experiment)
+        finally:
+            registry_module._SCENARIOS.pop("third-party-ok", None)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import DataError
-from repro.scenario import average_accuracy, backward_transfer, forgetting
+from repro.scenario import average_accuracy, backward_transfer, class_mask, forgetting
 
 NAN = float("nan")
 
@@ -76,3 +76,163 @@ class TestValidation:
     def test_accepts_numpy_input(self):
         matrix = np.asarray(TOY)
         assert average_accuracy(matrix) == pytest.approx(0.625)
+
+
+class TestClassMask:
+    def test_selects_classes(self):
+        mask = class_mask((1, 3), 5)
+        np.testing.assert_array_equal(
+            mask, [False, True, False, True, False]
+        )
+        assert mask.dtype == np.bool_
+
+    def test_deduplicates_and_accepts_any_iterable(self):
+        np.testing.assert_array_equal(
+            class_mask([2, 2, 0], 4), class_mask((0, 2), 4)
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError, match="at least one class"):
+            class_mask((), 5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DataError, match=r"\[0, 5\)"):
+            class_mask((5,), 5)
+        with pytest.raises(DataError, match=r"\[0, 5\)"):
+            class_mask((-1,), 5)
+
+    def test_rejects_bad_num_classes(self):
+        with pytest.raises(DataError, match="positive"):
+            class_mask((0,), 0)
+
+
+# ---------------------------------------------------------------------------
+# Hand-computed 3-step task-incremental trajectory.
+#
+# 8 classes in 4 two-class tasks: T0=(0,1) is the pre-training base,
+# T1=(2,3), T2=(4,5), T3=(6,7) arrive at steps 0..2.  Logits are pushed
+# through a real LeakyReadout with identity weights over one timestep,
+# so the readout returns the hand-written logit vectors verbatim and
+# every matrix entry is evaluated through the real masking path
+# (class_mask -> LeakyReadout.forward -> argmax), not a re-derivation.
+#
+# Each entry holds two samples built from three primitives:
+#   correct(t)        — global argmax already t: right with or without mask
+#   rescued(t, c)     — global argmax c (outside the task), in-task argmax t:
+#                       right ONLY under the task's mask
+#   wrong(t, w)       — in-task argmax w != t: wrong either way
+# ---------------------------------------------------------------------------
+
+TASKS = ((0, 1), (2, 3), (4, 5), (6, 7))
+NUM_CLASSES = 8
+
+
+def _correct(t):
+    v = np.zeros(NUM_CLASSES)
+    v[t] = 5.0
+    return v, t
+
+
+def _rescued(t, outside):
+    v = np.zeros(NUM_CLASSES)
+    v[outside] = 9.0
+    v[t] = 5.0
+    return v, t
+
+
+def _wrong(t, w):
+    v = np.zeros(NUM_CLASSES)
+    v[w] = 5.0
+    return v, t
+
+
+#: SAMPLES[(session, task)] -> two (logits, true_label) samples.
+SAMPLES = {
+    (0, 0): (_correct(0), _rescued(1, 6)),
+    (1, 0): (_correct(0), _correct(1)),
+    (1, 1): (_correct(2), _rescued(3, 0)),
+    (2, 0): (_wrong(0, 1), _correct(1)),
+    (2, 1): (_correct(2), _correct(3)),
+    (2, 2): (_correct(4), _rescued(5, 1)),
+    (3, 0): (_wrong(0, 1), _rescued(1, 7)),
+    (3, 1): (_wrong(2, 3), _correct(3)),
+    (3, 2): (_correct(4), _rescued(5, 0)),
+    (3, 3): (_correct(6), _correct(7)),
+}
+
+
+def _accuracy_matrix(masked: bool) -> np.ndarray:
+    from repro.snn.layers import LeakyReadout
+    from repro.training.metrics import top1_accuracy
+
+    readout = LeakyReadout(NUM_CLASSES, NUM_CLASSES, beta=0.5)
+    readout.w_ff.data = np.eye(NUM_CLASSES)
+    readout.set_trainable(False)
+    matrix = np.full((4, 4), np.nan)
+    for (session, task), samples in SAMPLES.items():
+        x = np.stack([logits for logits, _ in samples])[None, :, :]
+        labels = np.array([label for _, label in samples])
+        mask = class_mask(TASKS[task], NUM_CLASSES) if masked else None
+        out = readout.forward(x.astype(np.float64), class_mask=mask)
+        matrix[session, task] = top1_accuracy(
+            out.data.argmax(axis=1), labels
+        )
+    return matrix
+
+
+class TestTaskIncrementalHandComputed:
+    def test_masked_matrix_matches_hand_derivation(self):
+        # Per entry: correct=1, rescued=1 (mask removes the outside
+        # winner), wrong=0 -> mean of two samples.
+        expected = [
+            [1.0, NAN, NAN, NAN],
+            [1.0, 1.0, NAN, NAN],
+            [0.5, 1.0, 1.0, NAN],
+            [0.5, 0.5, 1.0, 1.0],
+        ]
+        np.testing.assert_array_equal(
+            _accuracy_matrix(masked=True), np.asarray(expected)
+        )
+
+    def test_unmasked_matrix_matches_hand_derivation(self):
+        # Same logits without masks: every `rescued` sample flips wrong.
+        expected = [
+            [0.5, NAN, NAN, NAN],
+            [1.0, 0.5, NAN, NAN],
+            [0.5, 1.0, 0.5, NAN],
+            [0.0, 0.5, 0.5, 1.0],
+        ]
+        np.testing.assert_array_equal(
+            _accuracy_matrix(masked=False), np.asarray(expected)
+        )
+
+    def test_masking_provably_changes_accuracy(self):
+        masked = _accuracy_matrix(masked=True)
+        unmasked = _accuracy_matrix(masked=False)
+        lower = np.tril_indices(4)
+        # Entry-wise dominance, strict somewhere (the rescued samples).
+        assert np.all(masked[lower] >= unmasked[lower])
+        assert masked[0, 0] == 1.0 and unmasked[0, 0] == 0.5
+
+    def test_masked_metrics_hand_computed(self):
+        masked = _accuracy_matrix(masked=True)
+        # average accuracy: final row (0.5 + 0.5 + 1.0 + 1.0) / 4.
+        assert average_accuracy(masked) == pytest.approx(0.75)
+        # forgetting: task 0: best{1.0, 1.0, 0.5} - 0.5 = 0.5;
+        #             task 1: best{1.0, 1.0} - 0.5 = 0.5;
+        #             task 2: best{1.0} - 1.0 = 0.0  -> mean = 1/3.
+        assert forgetting(masked) == pytest.approx(1.0 / 3.0)
+        # BWT: (0.5-1.0) + (0.5-1.0) + (1.0-1.0) over 3 -> -1/3.
+        assert backward_transfer(masked) == pytest.approx(-1.0 / 3.0)
+
+    def test_unmasked_metrics_hand_computed(self):
+        unmasked = _accuracy_matrix(masked=False)
+        # final row (0.0 + 0.5 + 0.5 + 1.0) / 4 — masking lifted the
+        # average by 0.25 on identical logits.
+        assert average_accuracy(unmasked) == pytest.approx(0.5)
+        # task 0: best{0.5, 1.0, 0.5} - 0.0 = 1.0;
+        # task 1: best{0.5, 1.0} - 0.5 = 0.5; task 2: 0.5 - 0.5 = 0.0.
+        assert forgetting(unmasked) == pytest.approx(0.5)
+        assert backward_transfer(unmasked) == pytest.approx(
+            -(0.5 + 0.0 + 0.0) / 3.0
+        )

@@ -24,7 +24,13 @@ from repro.scenario import (
     run_scenario,
 )
 
-SCENARIOS = ["single-step", "sequential", "domain-incremental", "blurry"]
+SCENARIOS = [
+    "single-step",
+    "sequential",
+    "task-incremental",
+    "domain-incremental",
+    "blurry",
+]
 
 
 @pytest.fixture(scope="module")

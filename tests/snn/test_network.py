@@ -184,3 +184,67 @@ class TestPredictAndController:
         # The controller halves thresholds on silent steps, so spiking
         # activity — and thus logits — must differ.
         assert not np.allclose(static, adaptive)
+
+
+class TestClassMask:
+    """Per-task readout masking (task-incremental inference)."""
+
+    def test_full_mask_is_bitwise_noop_fused_and_per_step(self, net, x):
+        full = np.ones(5, dtype=bool)
+        for fused in (True, False):
+            net.set_fused(fused)
+            unmasked = net.forward(x).logits.data
+            masked = net.forward(x, class_mask=full).logits.data
+            np.testing.assert_array_equal(unmasked, masked)
+        net.set_fused(True)
+
+    def test_mask_restricts_argmax_to_active_classes(self, net, x):
+        mask = np.array([False, False, True, True, False])
+        preds = net.predict(x, class_mask=mask)
+        assert set(preds.tolist()) <= {2, 3}
+
+    def test_masked_logits_add_constant_penalty(self, net, x):
+        from repro.snn.layers import MASKED_LOGIT
+
+        mask = np.array([True, False, True, False, True])
+        plain = net.forward(x).logits.data
+        masked = net.forward(x, class_mask=mask).logits.data
+        np.testing.assert_array_equal(masked[:, mask], plain[:, mask])
+        np.testing.assert_allclose(
+            masked[:, ~mask] - plain[:, ~mask], MASKED_LOGIT
+        )
+
+    def test_mask_supported_on_both_readout_paths(self, net, x):
+        mask = np.array([True, False, True, False, True])
+        net.set_fused(True)
+        fused = net.forward(x, class_mask=mask).logits.data
+        assert net.readout.last_forward_path == "fused"
+        net.set_fused(False)
+        steps = net.forward(x, class_mask=mask).logits.data
+        assert net.readout.last_forward_path == "steps"
+        net.set_fused(True)
+        np.testing.assert_allclose(fused, steps, rtol=1e-10, atol=1e-12)
+
+    def test_gradient_flows_through_masked_logits(self, net, x):
+        mask = np.array([True, True, False, False, False])
+        result = net.forward(x, class_mask=mask)
+        cross_entropy(result.logits, np.array([0, 1, 0, 1])).backward()
+        for p in net.trainable_parameters():
+            assert p.grad is not None
+
+    def test_wrong_shape_rejected(self, net, x):
+        with pytest.raises(ShapeError, match="class_mask"):
+            net.forward(x, class_mask=np.ones(4, dtype=bool))
+
+    def test_empty_mask_rejected(self, net, x):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="at least one class"):
+            net.forward(x, class_mask=np.zeros(5, dtype=bool))
+
+    def test_integer_mask_accepted(self, net, x):
+        bool_preds = net.predict(
+            x, class_mask=np.array([True, False, True, False, False])
+        )
+        int_preds = net.predict(x, class_mask=np.array([1, 0, 1, 0, 0]))
+        np.testing.assert_array_equal(bool_preds, int_preds)

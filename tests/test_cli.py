@@ -59,7 +59,13 @@ class TestScenarioCommands:
     def test_scenario_list(self, capsys):
         assert main(["scenario", "list"]) == 0
         out = capsys.readouterr().out
-        for name in ("single-step", "sequential", "domain-incremental", "blurry"):
+        for name in (
+            "single-step",
+            "sequential",
+            "task-incremental",
+            "domain-incremental",
+            "blurry",
+        ):
             assert name in out
         assert "methods:" in out and "spikinglr" in out
 
@@ -80,6 +86,27 @@ class TestScenarioCommands:
         out = capsys.readouterr().out
         assert f"replay federation: {root}" in out
         assert (root / "federation.json").exists()
+
+    def test_scenario_run_task_incremental(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        assert main(["scenario", "run", "task-incremental", "--scale", "ci"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario 'task-incremental'" in out
+        assert "task-incremental eval: readout masked" in out
+
+    def test_steps_override(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        assert main([
+            "scenario", "run", "sequential", "--scale", "ci", "--steps", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 step(s)" in out
+
+    def test_steps_rejected_for_single_step(self, capsys):
+        assert main([
+            "scenario", "run", "single-step", "--scale", "ci", "--steps", "3",
+        ]) == 2
+        assert "does not take --steps" in capsys.readouterr().err
 
     def test_unknown_scenario_is_clean_error(self, capsys):
         assert main(["scenario", "run", "task-free", "--scale", "ci"]) == 2
