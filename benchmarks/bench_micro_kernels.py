@@ -138,6 +138,58 @@ def test_per_step_lif_forward_backward(benchmark, lif_workload):
     assert layer.last_forward_path == "steps"
 
 
+# ----------------------------------------------------------------------
+# Per-backend rows: the same fused workloads pinned to each registered
+# kernel backend (REPRO_BACKEND).  Unavailable backends skip, so the
+# rows degrade gracefully on runners without a C compiler or torch;
+# check_regression.py asserts the C backend beats numpy on at least one
+# kernel whenever its rows are present.
+# ----------------------------------------------------------------------
+
+_BACKEND_NAMES = ("numpy", "c", "torch")
+
+
+def _require_backend(name, monkeypatch):
+    from repro.snn import backends
+
+    executor = backends.get_backend(name)
+    ok, reason = executor.availability()
+    if not ok:
+        pytest.skip(f"backend {name!r} unavailable: {reason}")
+    monkeypatch.setenv("REPRO_BACKEND", name)
+
+
+@pytest.mark.parametrize("backend_name", _BACKEND_NAMES)
+def test_backend_lif_forward_backward(
+    benchmark, lif_workload, backend_name, monkeypatch
+):
+    _require_backend(backend_name, monkeypatch)
+    layer = _lif_layer()
+    layer.use_fused = True
+    x, g_up = lif_workload
+    benchmark(_lif_forward_backward, layer, x, g_up)
+    assert layer.last_forward_path == "fused"
+
+
+@pytest.mark.parametrize("backend_name", _BACKEND_NAMES)
+def test_backend_readout_forward_backward(benchmark, rng, backend_name, monkeypatch):
+    from repro.autograd import Tensor
+    from repro.snn.kernels import leaky_readout_sequence
+
+    _require_backend(backend_name, monkeypatch)
+    t_long, _, batch = _sizes()
+    x = (rng.random((t_long, batch, 64)) < 0.1).astype(np.float32)
+    w = (np.random.default_rng(1).standard_normal((64, 10)) * 0.3).astype(np.float32)
+    g_up = np.ones((t_long, batch, 10), dtype=np.float32)
+
+    def run():
+        w_out = Tensor(w, requires_grad=True)
+        trajectory = leaky_readout_sequence(Tensor(x), w_out, beta=0.9)
+        trajectory.backward(g_up)
+
+    benchmark(run)
+
+
 def test_subsample_codec_roundtrip(benchmark, rng):
     raster = (rng.random((100, 64, 64)) < 0.1).astype(np.float32)
     codec = TemporalSubsampleCodec(2)

@@ -36,6 +36,12 @@ RESULTS_JSON = BENCH_DIR / "results" / "micro_kernels.json"
 FUSED_BENCH = "test_fused_lif_forward_backward"
 PER_STEP_BENCH = "test_per_step_lif_forward_backward"
 
+#: Per-backend rows (test_backend_*[name]) skip when their backend is
+#: unavailable on a runner, so they are optional in baseline checks.
+BACKEND_ROW_PREFIX = "test_backend_"
+#: Kernels with per-backend rows; the C gate needs a win on >= 1 of them.
+BACKEND_KERNELS = ("lif_forward_backward", "readout_forward_backward")
+
 
 def run_benchmarks(results_json: Path) -> None:
     """Invoke pytest-benchmark on the micro-kernel bench file."""
@@ -96,6 +102,36 @@ def check_speedup(means: dict[str, float], min_speedup: float) -> list[str]:
     return failures
 
 
+def check_backend_speedup(means: dict[str, float]) -> list[str]:
+    """The C backend must beat numpy on at least one kernel.
+
+    Skipped (not failed) when the C rows are absent — runners without a
+    C compiler legitimately fall back to the reference backend.
+    """
+    failures: list[str] = []
+    compared = wins = 0
+    for kernel in BACKEND_KERNELS:
+        reference = means.get(f"{BACKEND_ROW_PREFIX}{kernel}[numpy]")
+        compiled = means.get(f"{BACKEND_ROW_PREFIX}{kernel}[c]")
+        if reference is None or compiled is None:
+            continue
+        compared += 1
+        ratio = reference / compiled
+        print(
+            f"C backend {kernel}: {compiled * 1e6:.1f} us vs numpy "
+            f"{reference * 1e6:.1f} us -> {ratio:.2f}x"
+        )
+        if ratio > 1.0:
+            wins += 1
+    if compared == 0:
+        print("C backend rows absent (backend unavailable here); gate skipped")
+    elif wins == 0:
+        failures.append(
+            f"C backend beat numpy on 0 of {compared} kernels (expected >= 1)"
+        )
+    return failures
+
+
 def check_baseline(
     means: dict[str, float], baseline: dict, tolerance: float
 ) -> list[str]:
@@ -103,6 +139,11 @@ def check_baseline(
     for name, base_mean in sorted(baseline["benchmarks"].items()):
         current = means.get(name)
         if current is None:
+            if name.startswith(BACKEND_ROW_PREFIX):
+                # Optional row: the backend that produced the baseline
+                # number is unavailable on this runner (skipped bench).
+                print(f"{name}: skipped (backend unavailable on this runner)")
+                continue
             failures.append(f"benchmark {name} present in baseline but not in results")
             continue
         ratio = current / base_mean
@@ -175,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     failures = check_speedup(means, args.min_speedup)
+    failures += check_backend_speedup(means)
     if BASELINE_FILE.exists():
         baseline = json.loads(BASELINE_FILE.read_text())
         failures += check_baseline(means, baseline, args.tolerance)

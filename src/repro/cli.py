@@ -9,6 +9,7 @@ Usage::
     python -m repro scenario run sequential --scale ci   # CL metrics for one run
     python -m repro scenario run task-incremental --steps 2   # task-IL (masked readout)
     python -m repro info                      # version + inventory
+    python -m repro backends                  # kernel backend table
     python -m repro store stats runs/buffer   # replay-store maintenance
     python -m repro store federate runs/seq   # compose per-task stores
 """
@@ -32,6 +33,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments and scales")
     sub.add_parser("info", help="print version and system inventory")
+    sub.add_parser(
+        "backends", help="kernel backend availability and selection table"
+    )
 
     run = sub.add_parser("run", help="reproduce a paper figure/table")
     run.add_argument("experiment", help="figure id (fig1a, fig2, ..., headline) or 'all'")
@@ -210,6 +214,32 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends() -> int:
+    from repro.config import backend_selection
+    from repro.snn import backends
+
+    requested = backend_selection()
+    rows = backends.selection_report()
+    print(f"REPRO_BACKEND={requested}")
+    name_w = max(len(row["name"]) for row in rows)
+    for row in rows:
+        marker = "*" if row["selected"] else " "
+        status = "available" if row["available"] else "unavailable"
+        print(
+            f"{marker} {row['name']:{name_w}s}  {row['parity']:9s} "
+            f"{status:11s}  {row['reason']}"
+        )
+    print("(* = selected; set REPRO_BACKEND=numpy|c|torch|auto to override)")
+    if not any(row["selected"] for row in rows):
+        print(
+            f"error: requested backend {requested!r} is unavailable "
+            "(see its reason above)",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def _cmd_info() -> int:
     import repro
 
@@ -360,6 +390,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list()
         if args.command == "info":
             return _cmd_info()
+        if args.command == "backends":
+            return _cmd_backends()
         if args.command == "compare":
             return _cmd_compare(args)
         if args.command == "scenario":

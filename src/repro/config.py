@@ -9,6 +9,7 @@ functional (no mutation).
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -19,6 +20,12 @@ __all__ = [
     "NCLConfig",
     "ExperimentConfig",
     "PAPER_LAYER_SIZES",
+    "EnvFlag",
+    "ENV_FLAGS",
+    "env_flag",
+    "env_switch",
+    "BACKEND_CHOICES",
+    "backend_selection",
 ]
 
 # The paper's Fig. 6 architecture: 700 input channels, hidden layers of
@@ -239,3 +246,116 @@ class ExperimentConfig:
 
     def replace(self, **kwargs) -> "ExperimentConfig":
         return dataclasses.replace(self, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Process-environment flags.
+#
+# Every ``REPRO_*`` environment variable the library honours is declared
+# here, once, so the documentation (docs/env.md, README) can be verified
+# against the code instead of drifting per-PR.  Consumers read the
+# environment *through* these helpers; nothing else in the library calls
+# ``os.environ`` for a REPRO_ flag directly.
+# ----------------------------------------------------------------------
+
+#: Valid values of ``REPRO_BACKEND`` (see :mod:`repro.snn.backends`).
+BACKEND_CHOICES: tuple[str, ...] = ("auto", "numpy", "c", "torch")
+
+
+@dataclass(frozen=True)
+class EnvFlag:
+    """Declaration of one ``REPRO_*`` environment variable.
+
+    Attributes:
+        name: The environment variable, e.g. ``"REPRO_BACKEND"``.
+        default: Effective value when the variable is unset.
+        values: Human-readable domain, e.g. ``"numpy | c | torch | auto"``.
+        description: One-line summary used by the docs reference.
+    """
+
+    name: str
+    default: str
+    values: str
+    description: str
+
+
+#: The consolidated registry of every environment flag the library reads.
+ENV_FLAGS: tuple[EnvFlag, ...] = (
+    EnvFlag(
+        "REPRO_BACKEND",
+        "auto",
+        "numpy | c | torch | auto",
+        "Kernel backend executing the fused SNN sequence sweeps; "
+        "`auto` probes availability in speed order (c, torch, numpy).",
+    ),
+    EnvFlag(
+        "REPRO_FUSED_KERNELS",
+        "1",
+        "1 | 0",
+        "Kill switch for the fused sequence kernels; 0 forces the "
+        "per-step reference tape everywhere.",
+    ),
+    EnvFlag(
+        "REPRO_PREFETCH",
+        "1",
+        "1 | 0",
+        "Kill switch for the background shard-prefetch worker on "
+        "store-backed replay streams.",
+    ),
+    EnvFlag(
+        "REPRO_BENCH_SCALE",
+        "bench",
+        "ci | bench | paper",
+        "Workload size of the benchmark suite (benchmarks/bench_*.py).",
+    ),
+    EnvFlag(
+        "REPRO_CACHE",
+        "./.repro_cache",
+        "directory path",
+        "Directory for cached pre-trained weights and compiled C kernels.",
+    ),
+)
+
+
+def env_flag(name: str) -> EnvFlag:
+    """Look up the declaration of one environment flag by name.
+
+    Raises:
+        ConfigError: If ``name`` is not a declared ``REPRO_*`` flag.
+    """
+    for flag in ENV_FLAGS:
+        if flag.name == name:
+            return flag
+    raise ConfigError(
+        f"unknown environment flag {name!r}; declared flags: "
+        f"{', '.join(f.name for f in ENV_FLAGS)}"
+    )
+
+
+def env_switch(name: str) -> bool:
+    """Read a declared boolean on/off environment flag.
+
+    Anything other than ``"0"``/``"false"``/``"off"`` (case-insensitive)
+    counts as on; an unset variable takes the flag's declared default.
+    Consulted at every use site, so flipping the variable mid-process
+    takes effect immediately.
+    """
+    raw = os.environ.get(name, env_flag(name).default)
+    return raw.lower() not in ("0", "false", "off")
+
+
+def backend_selection() -> str:
+    """The validated ``REPRO_BACKEND`` selection for this process.
+
+    Returns one of :data:`BACKEND_CHOICES` (default ``"auto"``).
+
+    Raises:
+        ConfigError: If the environment names an unknown backend.
+    """
+    raw = os.environ.get("REPRO_BACKEND", "auto").strip().lower()
+    if raw not in BACKEND_CHOICES:
+        raise ConfigError(
+            f"REPRO_BACKEND must be one of {' | '.join(BACKEND_CHOICES)}, "
+            f"got {raw!r}"
+        )
+    return raw

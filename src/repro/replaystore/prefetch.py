@@ -20,12 +20,12 @@ passthrough).
 
 from __future__ import annotations
 
-import os
 import queue
 import threading
 
 import numpy as np
 
+from repro.config import env_switch
 from repro.errors import StoreError
 from repro.replaystore.stream import ReplayStream
 
@@ -42,7 +42,7 @@ def prefetch_enabled() -> bool:
     ``0``/``false``/``off`` disables the background decode thread (the
     kill switch mirrors ``REPRO_FUSED_KERNELS``).
     """
-    return os.environ.get("REPRO_PREFETCH", "1").lower() not in ("0", "false", "off")
+    return env_switch("REPRO_PREFETCH")
 
 
 class PrefetchingStream:

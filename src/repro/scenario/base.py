@@ -32,29 +32,26 @@ __all__ = ["ContinualStep", "Scenario"]
 class ContinualStep:
     """One unit of continual learning: a split plus step metadata.
 
-    Attributes
-    ----------
-    index:
-        Position in the stream (0-based).
-    split:
-        The step's data, in the shape every NCL method consumes:
-        ``pretrain_*`` is the replay source / retention test,
-        ``new_*`` is what arrives at this step.
-    name:
-        Human-readable step label (``"step-1: +class 4"``).
-    info:
-        Scenario-specific metadata (drift severity, blur fraction,
-        class layout...).  Purely descriptive — methods never read it.
-    task_classes:
-        Task membership for task-incremental evaluation, or ``None``
-        (the default) for task-agnostic settings.  When set on the step
-        of index ``k``, it holds one class group per task seen so far —
-        ``task_classes[0]`` is the pre-training base task and
-        ``task_classes[j]`` (``1 <= j <= k+1``) the classes that arrived
-        at continual step ``j-1`` — so it always has ``k + 2`` groups.
-        :func:`~repro.scenario.runner.run_scenario` masks the readout to
-        ``task_classes[j]`` when evaluating task ``j`` (the task id is
-        available at inference, the defining property of task-IL).
+    Attributes:
+        index: Position in the stream (0-based).
+        split: The step's data, in the shape every NCL method consumes:
+            ``pretrain_*`` is the replay source / retention test,
+            ``new_*`` is what arrives at this step.
+        name: Human-readable step label (``"step-1: +class 4"``).
+        info: Scenario-specific metadata (drift severity, blur fraction,
+            class layout...).  Purely descriptive — methods never read
+            it.
+        task_classes: Task membership for task-incremental evaluation,
+            or ``None`` (the default) for task-agnostic settings.  When
+            set on the step of index ``k``, it holds one class group per
+            task seen so far — ``task_classes[0]`` is the pre-training
+            base task and ``task_classes[j]`` (``1 <= j <= k+1``) the
+            classes that arrived at continual step ``j-1`` — so it
+            always has ``k + 2`` groups.
+            :func:`~repro.scenario.runner.run_scenario` masks the
+            readout to ``task_classes[j]`` when evaluating task ``j``
+            (the task id is available at inference, the defining
+            property of task-IL).
     """
 
     index: int

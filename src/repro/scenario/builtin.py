@@ -73,11 +73,13 @@ class SingleStepScenario:
     disjoint_eval = True
 
     def describe(self) -> str:
+        """One-line summary for ``repro scenario list``."""
         return "one class-incremental step: pre-train on the old classes, +new"
 
     def steps(
         self, generator: SyntheticSHD, experiment: ExperimentConfig
     ) -> Iterator[ContinualStep]:
+        """Yield the single class-incremental step."""
         base = (
             self.num_pretrain_classes
             if self.num_pretrain_classes is not None
@@ -137,6 +139,7 @@ class SequentialScenario:
             )
 
     def describe(self) -> str:
+        """One-line summary for ``repro scenario list``."""
         return (
             f"{self.steps_count} class-incremental steps, "
             f"{self.classes_per_step} new class(es) each"
@@ -154,6 +157,7 @@ class SequentialScenario:
     def steps(
         self, generator: SyntheticSHD, experiment: ExperimentConfig
     ) -> Iterator[ContinualStep]:
+        """Yield the class-incremental steps lazily, in stream order."""
         base = self._resolved_base(generator)
         splits = iter_sequential_splits(
             generator,
@@ -200,6 +204,7 @@ class TaskIncrementalScenario(SequentialScenario):
     disjoint_eval = True
 
     def describe(self) -> str:
+        """One-line summary for ``repro scenario list``."""
         return (
             f"{self.steps_count} task-incremental steps, "
             f"{self.classes_per_step} new class(es) each "
@@ -209,6 +214,7 @@ class TaskIncrementalScenario(SequentialScenario):
     def steps(
         self, generator: SyntheticSHD, experiment: ExperimentConfig
     ) -> Iterator[ContinualStep]:
+        """Yield the parent stream's steps, decorated with task membership."""
         # One source of truth for the class layout: decorate the parent
         # stream with task membership read off each split (task 0 is the
         # first step's base pool; task j > 0 is step j-1's new classes).
@@ -265,6 +271,7 @@ class DomainIncrementalScenario:
             )
 
     def describe(self) -> str:
+        """One-line summary for ``repro scenario list``."""
         return (
             f"{self.steps_count} domain-drift steps over fixed classes "
             f"(jitter {self.max_shift}/step, dropout {self.dropout_p:.0%}/step"
@@ -281,6 +288,7 @@ class DomainIncrementalScenario:
     def steps(
         self, generator: SyntheticSHD, experiment: ExperimentConfig
     ) -> Iterator[ContinualStep]:
+        """Yield steps of the same classes under increasing drift severity."""
         clean_train = generator.generate_dataset(
             experiment.samples_per_class, split="train"
         )
@@ -340,6 +348,7 @@ class BlurryScenario:
             )
 
     def describe(self) -> str:
+        """One-line summary for ``repro scenario list``."""
         return (
             f"{self.steps_count} overlapping class-incremental steps "
             f"({self.blur_fraction:.0%} seen-class blend in each stream)"
@@ -348,6 +357,7 @@ class BlurryScenario:
     def steps(
         self, generator: SyntheticSHD, experiment: ExperimentConfig
     ) -> Iterator[ContinualStep]:
+        """Yield class-incremental steps with seen-class minority blends."""
         base = (
             self.base_classes
             if self.base_classes is not None

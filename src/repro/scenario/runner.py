@@ -59,34 +59,32 @@ __all__ = ["ScenarioResult", "run_scenario"]
 class ScenarioResult:
     """Outcome of a full scenario run; generalizes `SequentialResult`.
 
-    Attributes
-    ----------
-    scenario / method:
-        The scenario's registry name, and the method as it was
-        addressed: the registry name when one was passed, otherwise the
-        method's own ``name`` attribute.
-    steps:
-        One :class:`~repro.core.strategies.NCLResult` per continual step.
-    step_names:
-        The scenario's human-readable step labels.
-    accuracy_matrix:
-        ``[S+1, S+1]`` session-by-task top-1 matrix (see
-        :mod:`repro.scenario.metrics` for the convention); ``NaN`` above
-        the diagonal.  Every entry — including the session-0 row — is
-        measured under the *method's NCL deployment semantics* (NCL
-        timesteps, adaptive threshold from the insertion layer), so
-        column deltas read as actual forgetting/transfer, never as the
-        systematic pretrain-vs-NCL timestep gap.
-    pretrain_accuracy:
-        Base-task accuracy of the pre-trained network (``R[0, 0]``,
-        same NCL deployment semantics as the rest of the matrix).
-    store_root:
-        Federation root when the run was store-backed; None when dense.
-    task_classes:
-        The final step's per-task class groups when the scenario is
-        task-incremental (every matrix entry ``R[i, j]`` was then
-        measured with the readout masked to ``task_classes[j]``); None
-        for task-agnostic scenarios, whose matrix is measured unmasked.
+    Attributes:
+        scenario: The scenario's registry name.
+        method: The method as it was addressed: the registry name when
+            one was passed, otherwise the method's own ``name``
+            attribute.
+        steps: One :class:`~repro.core.strategies.NCLResult` per
+            continual step.
+        step_names: The scenario's human-readable step labels.
+        accuracy_matrix: ``[S+1, S+1]`` session-by-task top-1 matrix
+            (see :mod:`repro.scenario.metrics` for the convention);
+            ``NaN`` above the diagonal.  Every entry — including the
+            session-0 row — is measured under the *method's NCL
+            deployment semantics* (NCL timesteps, adaptive threshold
+            from the insertion layer), so column deltas read as actual
+            forgetting/transfer, never as the systematic
+            pretrain-vs-NCL timestep gap.
+        pretrain_accuracy: Base-task accuracy of the pre-trained network
+            (``R[0, 0]``, same NCL deployment semantics as the rest of
+            the matrix).
+        store_root: Federation root when the run was store-backed; None
+            when dense.
+        task_classes: The final step's per-task class groups when the
+            scenario is task-incremental (every matrix entry ``R[i, j]``
+            was then measured with the readout masked to
+            ``task_classes[j]``); None for task-agnostic scenarios,
+            whose matrix is measured unmasked.
     """
 
     scenario: str
@@ -122,6 +120,7 @@ class ScenarioResult:
     # -- SequentialResult-compatible views -----------------------------
     @property
     def final_network(self) -> SpikingNetwork:
+        """Network state after the last step (raises when not retained)."""
         network = self.steps[-1].network
         if network is None:
             raise DataError("final step carries no network")
@@ -134,6 +133,7 @@ class ScenarioResult:
 
     @property
     def new_accuracy_trajectory(self) -> tuple[float, ...]:
+        """New-task accuracy after each step (plasticity trajectory)."""
         return tuple(step.final_new_accuracy for step in self.steps)
 
     def as_sequential(self) -> SequentialResult:
@@ -141,6 +141,7 @@ class ScenarioResult:
         return SequentialResult(steps=self.steps, store_root=self.store_root)
 
     def describe(self) -> str:
+        """Multi-line human-readable summary of the run."""
         lines = [
             f"scenario {self.scenario!r} x method {self.method!r}: "
             f"{len(self.steps)} step(s)",
@@ -235,33 +236,32 @@ def run_scenario(
 ) -> ScenarioResult:
     """Run a whole scenario end-to-end and return its CL metrics.
 
-    Parameters
-    ----------
-    scenario:
-        A registry name (``"single-step"``, ``"sequential"``,
-        ``"domain-incremental"``, ``"blurry"``, or anything registered
-        via :func:`repro.scenario.register`) or a ready
-        :class:`~repro.scenario.base.Scenario` instance (for
-        non-default parameters, build one via
-        :func:`repro.scenario.get`).
-    method:
-        A method-registry name (see :mod:`repro.core.registry`) or a
-        factory ``config -> NCLMethod``, called once per step.
-    scale:
-        Scale preset supplying ``generator``/``experiment`` when those
-        are not given explicitly (see :mod:`repro.eval.scale`).
-    pretrained:
-        Skip pre-training by supplying the starting network — a
-        :class:`~repro.core.pipeline.PretrainResult` or a bare
-        :class:`~repro.snn.network.SpikingNetwork` (then the base-task
-        accuracy is measured here).  Must match the scenario's first
-        step (same base classes), which is the caller's responsibility.
-    replay:
-        A :class:`~repro.core.replayspec.ReplaySpec` (or bare path,
-        promoted to one).  Store-backed runs persist each step's latent
-        data as federation member ``step-<k>`` under
-        ``replay.store_dir`` — identical plumbing (and bitwise-identical
-        trajectories) to :func:`~repro.core.sequential.run_sequential`.
+    Args:
+        scenario: A registry name (``"single-step"``, ``"sequential"``,
+            ``"domain-incremental"``, ``"blurry"``, or anything
+            registered via :func:`repro.scenario.register`) or a ready
+            :class:`~repro.scenario.base.Scenario` instance (for
+            non-default parameters, build one via
+            :func:`repro.scenario.get`).
+        method: A method-registry name (see :mod:`repro.core.registry`)
+            or a factory ``config -> NCLMethod``, called once per step.
+        scale: Scale preset supplying ``generator``/``experiment`` when
+            those are not given explicitly (see
+            :mod:`repro.eval.scale`).
+        generator: Dataset generator; defaults to the scale preset's.
+        experiment: Experiment config; defaults to the scale preset's.
+        pretrained: Skip pre-training by supplying the starting network
+            — a :class:`~repro.core.pipeline.PretrainResult` or a bare
+            :class:`~repro.snn.network.SpikingNetwork` (then the
+            base-task accuracy is measured here).  Must match the
+            scenario's first step (same base classes), which is the
+            caller's responsibility.
+        replay: A :class:`~repro.core.replayspec.ReplaySpec` (or bare
+            path, promoted to one).  Store-backed runs persist each
+            step's latent data as federation member ``step-<k>`` under
+            ``replay.store_dir`` — identical plumbing (and
+            bitwise-identical trajectories) to
+            :func:`~repro.core.sequential.run_sequential`.
     """
     if isinstance(scenario, str):
         scenario = get(scenario)

@@ -1,0 +1,158 @@
+"""Torch executor for the fused sequence sweeps (active when importable).
+
+Runs the same recurrences as the reference on torch CPU tensors.  Torch
+is *not* a dependency of this library: the executor activates only when
+``import torch`` succeeds, and otherwise reports itself unavailable so
+``auto`` selection skips it (requesting it explicitly via
+``REPRO_BACKEND=torch`` raises a :class:`~repro.errors.ConfigError`
+naming the missing package).
+
+Unlike the C backend, torch owns its whole computation — including the
+per-step recurrent projection — so its accumulation order (and any use
+of fused multiply-adds inside torch kernels) legitimately differs from
+the numpy anchor.  The executor therefore declares ``parity =
+"tolerance"``: the parity suite pins it to the reference trajectory
+within a numeric tolerance instead of bitwise.
+
+The torch module is injectable (constructor argument) so the sweep code
+is exercised by the test suite on machines without torch, through a
+minimal numpy-backed stand-in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.snn.backends.base import SequenceExecutor, SweepSpec, register_backend
+
+__all__ = ["TorchExecutor"]
+
+
+class TorchExecutor(SequenceExecutor):
+    """Torch-tensor executor (module docstring has the full story)."""
+
+    name = "torch"
+    parity = "tolerance"
+    priority = 20
+
+    def __init__(self, torch_module=None):
+        self._torch = torch_module
+        self._probed = torch_module is not None
+
+    def _module(self):
+        if not self._probed:
+            self._probed = True
+            try:
+                import torch
+
+                self._torch = torch
+            except ImportError:
+                self._torch = None
+        return self._torch
+
+    def availability(self) -> tuple[bool, str]:
+        """Available iff ``import torch`` succeeds in this process."""
+        torch = self._module()
+        if torch is None:
+            return False, "the torch package is not importable (pip install torch)"
+        version = getattr(torch, "__version__", "unknown")
+        return True, f"torch {version} (tolerance-gated parity)"
+
+    def _tensor(self, array: np.ndarray):
+        return self._module().from_numpy(np.ascontiguousarray(array))
+
+    def _vthr(self, spec: SweepSpec, dtype):
+        if np.isscalar(spec.vthr):
+            return float(spec.vthr)
+        return self._tensor(np.asarray(spec.vthr, dtype=dtype))
+
+    def lif_forward(self, ff, w_rec, spec):
+        """Forward recurrence on torch tensors; returns numpy stacks."""
+        torch = self._module()
+        ff_t = self._tensor(ff)
+        w_rec_t = None if w_rec is None else self._tensor(w_rec)
+        vthr = self._vthr(spec, ff.dtype)
+        beta, alpha, hard = spec.beta, spec.alpha, spec.hard
+        v = torch.zeros_like(ff_t[0])
+        s = torch.zeros_like(ff_t[0])
+        syn = torch.zeros_like(ff_t[0]) if alpha is not None else None
+        membrane, spikes = [], []
+        for t in range(ff.shape[0]):
+            current = ff_t[t] if w_rec_t is None else ff_t[t] + s @ w_rec_t
+            if alpha is not None:
+                syn = syn * alpha + current
+                current = syn
+            if hard:
+                v = v * (1.0 - s) * beta + current
+            else:
+                v = v * beta - s * vthr + current
+            s = (v - vthr > 0.0).to(v.dtype)
+            membrane.append(v)
+            spikes.append(s)
+        return torch.stack(membrane).numpy(), torch.stack(spikes).numpy()
+
+    def lif_backward(self, g_spikes, surrogate, membrane, spikes, w_rec, spec):
+        """Reverse BPTT sweep on torch tensors; returns numpy ``gI``."""
+        torch = self._module()
+        g_t = self._tensor(g_spikes)
+        surrogate_t = self._tensor(surrogate)
+        membrane_t = self._tensor(membrane)
+        spikes_t = self._tensor(spikes)
+        w_rec_t = None if w_rec is None else self._tensor(w_rec.T)
+        vthr = self._vthr(spec, spikes.dtype)
+        beta, alpha, hard = spec.beta, spec.alpha, spec.hard
+        timesteps = spikes.shape[0]
+        gs_reset = gs_rec = gv_carry = gj_carry = None
+        g_current = [None] * timesteps
+        for t in range(timesteps - 1, -1, -1):
+            if gs_reset is not None:
+                gv = g_t[t] + gs_reset
+                if w_rec_t is not None:
+                    gv = gv + gs_rec
+                gv = gv * surrogate_t[t] + gv_carry
+            else:
+                gv = g_t[t] * surrogate_t[t]
+            if alpha is not None:
+                gj = gv if gj_carry is None else gv + gj_carry
+                gj_carry = gj * alpha
+            else:
+                gj = gv
+            g_current[t] = gj
+            if t > 0:
+                if hard:
+                    gv_beta = gv * beta
+                    gs_reset = -(gv_beta * membrane_t[t - 1])
+                    gv_carry = gv_beta * (1.0 - spikes_t[t - 1])
+                else:
+                    gs_reset = (-gv) * vthr
+                    gv_carry = gv * beta
+                if w_rec_t is not None:
+                    gs_rec = gj @ w_rec_t
+        return torch.stack(g_current).numpy()
+
+    def readout_forward(self, projected, beta):
+        """Readout integration on torch tensors."""
+        torch = self._module()
+        projected_t = self._tensor(projected)
+        membrane = torch.zeros_like(projected_t[0])
+        trajectory = []
+        for t in range(projected.shape[0]):
+            membrane = membrane * beta + projected_t[t]
+            trajectory.append(membrane)
+        return torch.stack(trajectory).numpy()
+
+    def readout_backward(self, g_trajectory, beta):
+        """Readout reverse sweep on torch tensors."""
+        torch = self._module()
+        g_t = self._tensor(g_trajectory)
+        timesteps = g_trajectory.shape[0]
+        out = [None] * timesteps
+        carry = None
+        for t in range(timesteps - 1, -1, -1):
+            gm = g_t[t] if carry is None else g_t[t] + carry
+            out[t] = gm
+            carry = gm * beta
+        return torch.stack(out).numpy()
+
+
+register_backend(TorchExecutor())

@@ -6,14 +6,19 @@ decay, reset, matmul and Heaviside records its own node, so a ``T``-step
 pass over a layer costs thousands of Python-level graph objects.  These
 kernels collapse the entire ``[T, B, N]`` time loop into **one** tape
 node each (via :class:`repro.autograd.Function`): the forward runs the
-recurrence in raw numpy over preallocated state arrays, and the backward
-is hand-derived BPTT through the decay/reset/recurrent/surrogate path.
+recurrence over preallocated state arrays, and the backward is
+hand-derived BPTT through the decay/reset/recurrent/surrogate path.
 
-The numerics are *identical* to the per-step reference — the same
-elementwise operations in the same order, and numpy's stacked matmul
-produces bitwise-equal projections — so fused and per-step paths are
-interchangeable.  The dispatch in :mod:`repro.snn.layers` uses the fused
-kernels whenever the effective threshold is static for the whole
+*Which executor* runs the recurrence is pluggable: this module computes
+the GEMMs (the stacked feedforward projection and the weight-gradient
+reductions — the bitwise anchor, always numpy) and hands the
+time-recurrent sweeps to the backend selected via ``REPRO_BACKEND``
+(see :mod:`repro.snn.backends`).  The numpy reference executor runs the
+same elementwise operations in the same order as the per-step path, so
+fused and per-step paths are interchangeable; the C executor replicates
+that association order bitwise in compiled code; the torch executor is
+tolerance-gated.  The dispatch in :mod:`repro.snn.layers` uses the
+fused kernels whenever the effective threshold is static for the whole
 sequence (``None`` or a :class:`~repro.snn.threshold.StaticThreshold`)
 and falls back to the per-step path for dynamic
 :class:`~repro.snn.threshold.ThresholdController` policies (Alg. 1),
@@ -36,19 +41,24 @@ reset partials)::
                gWff   = sum_t x[t]^T @ gI[t]
                gWrec  = sum_t S[t-1]^T @ gI[t]
 
+The bitwise-discipline rules the reference sweeps obey (and bitwise
+backends must replicate) live in :mod:`repro.snn.backends.numpy_ref`
+and are documented in ``docs/reproducibility.md``.
+
 Set ``REPRO_FUSED_KERNELS=0`` to force the per-step reference everywhere
 (useful when bisecting a numerical question back to first principles).
 """
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
 from repro.autograd import Tensor
 from repro.autograd.function import Function
+from repro.config import env_switch
 from repro.errors import ConfigError, ShapeError
+from repro.snn import backends
+from repro.snn.backends import SweepSpec
 from repro.snn.neurons import LIFParameters, resolve_threshold
 
 __all__ = [
@@ -67,7 +77,7 @@ def fused_enabled() -> bool:
     them.  Layers consult this at every forward, so flipping the
     variable mid-process takes effect immediately.
     """
-    return os.environ.get("REPRO_FUSED_KERNELS", "1").lower() not in ("0", "false", "off")
+    return env_switch("REPRO_FUSED_KERNELS")
 
 
 def _check_sequence_args(x: np.ndarray, w_ff: np.ndarray, w_rec) -> None:
@@ -84,82 +94,6 @@ def _check_sequence_args(x: np.ndarray, w_ff: np.ndarray, w_rec) -> None:
         )
 
 
-def _lif_reverse_sweep(
-    g_spikes, surrogate, membrane, spikes, w_rec, params, vthr, alpha
-):
-    """Reverse BPTT sweep shared by the LIF and CuBa kernels.
-
-    Returns ``gI`` — the gradient of the loss w.r.t. the projected input
-    current at every timestep — from which all weight/input gradients
-    follow as matmuls.
-
-    **Bitwise discipline.**  Fused and per-step paths must produce the
-    *same training trajectories*, not just close ones: spiking networks
-    are chaotic, so a one-ulp gradient difference grows into different
-    spike rasters within a few optimizer steps and breaks trajectory
-    reproducibility between the two paths.  Every accumulation below
-    therefore replicates the association order of the per-step tape
-    exactly (float addition commutes but does not associate):
-
-    - ``gS[t] = (upstream + reset-path) + recurrent-path``,
-    - ``gV[t] = surrogate-path + decay-path``,
-    - partial products mirror the tape, e.g. hard reset uses
-      ``(gV * beta) * V[t-1]`` — never ``gV * (beta * V[t-1])``.
-    """
-    timesteps = spikes.shape[0]
-    beta = params.beta
-    hard = params.reset_mode == "zero"
-    w_rec_t = None if w_rec is None else w_rec.T
-    g_current = np.empty_like(spikes)
-    state_shape = spikes.shape[1:]
-    dtype = spikes.dtype
-    # Preallocated scratch: the loop runs T times over small [B, N]
-    # arrays, so per-step allocation overhead is comparable to the
-    # arithmetic itself.  in-place ufuncs keep op order (hence bits)
-    # identical.
-    gv = np.empty(state_shape, dtype)  # dL/dV[t]
-    gv_beta = np.empty(state_shape, dtype)
-    gv_carry = np.empty(state_shape, dtype)  # decay path into gV[t], from t+1
-    gs_reset = np.empty(state_shape, dtype)  # reset path into gS[t], from t+1
-    gs_rec = np.empty(state_shape, dtype)  # recurrent path into gS[t], from t+1
-    gj_carry = np.empty(state_shape, dtype)  # synaptic decay into gJ[t] (CuBa)
-    have_carry = False
-    for t in range(timesteps - 1, -1, -1):
-        gj = g_current[t]  # written in place below
-        if have_carry:
-            np.add(g_spikes[t], gs_reset, out=gv)  # gs = upstream + reset path
-            if w_rec_t is not None:
-                np.add(gv, gs_rec, out=gv)  # ... + recurrent path
-            np.multiply(gv, surrogate[t], out=gv)
-            np.add(gv, gv_carry, out=gv)
-        else:
-            np.multiply(g_spikes[t], surrogate[t], out=gv)
-        if alpha is not None:
-            # J[t] feeds V[t] directly and J[t+1] through the alpha decay.
-            if have_carry:
-                np.add(gv, gj_carry, out=gj)
-            else:
-                gj[...] = gv
-            np.multiply(gj, alpha, out=gj_carry)
-        else:
-            gj[...] = gv
-        if t > 0:
-            if hard:
-                np.multiply(gv, beta, out=gv_beta)
-                np.multiply(gv_beta, membrane[t - 1], out=gs_reset)
-                np.negative(gs_reset, out=gs_reset)
-                np.subtract(1.0, spikes[t - 1], out=gv_carry)
-                np.multiply(gv_beta, gv_carry, out=gv_carry)
-            else:
-                np.negative(gv, out=gs_reset)
-                np.multiply(gs_reset, vthr, out=gs_reset)
-                np.multiply(gv, beta, out=gv_carry)
-            if w_rec_t is not None:
-                np.matmul(gj, w_rec_t, out=gs_rec)
-            have_carry = True
-    return g_current
-
-
 def _sequence_weight_grads(ctx, x, w_ff, w_rec, spikes, g_current):
     """Input/weight gradients from ``gI``, in the tape's summation order.
 
@@ -167,7 +101,9 @@ def _sequence_weight_grads(ctx, x, w_ff, w_rec, spikes, g_current):
     forward-in-time for feedforward-only graphs but reverse-in-time when
     a recurrent weight is present (the recurrent edge changes the
     reverse topological order) — replicated here for bitwise parity.
-    Gradients whose ``ctx.needs_input_grad`` flag is False are skipped.
+    These are pure GEMM reductions, so they stay on the numpy anchor for
+    every backend.  Gradients whose ``ctx.needs_input_grad`` flag is
+    False are skipped.
     """
     timesteps = spikes.shape[0]
     needs = ctx.needs_input_grad
@@ -199,39 +135,13 @@ def _sequence_weight_grads(ctx, x, w_ff, w_rec, spikes, g_current):
     return gx, gw_ff, gw_rec
 
 
-def _lif_forward_sweep(x, w_ff, w_rec, params, vthr, alpha):
-    """Forward recurrence shared by the LIF and CuBa kernels.
-
-    Runs the same elementwise operations in the same order as ``T``
-    applications of :func:`repro.snn.neurons.lif_step` /
-    :func:`~repro.snn.neurons.cuba_lif_step` (the stacked feedforward
-    GEMM is bitwise-equal to the per-step ``x[t] @ w_ff``).  Returns
-    ``(membrane, spikes)`` stacks ``[T, B, N]``.
-    """
-    timesteps, batch, _ = x.shape
-    n_out = w_ff.shape[1]
-    ff = x @ w_ff
-    dtype = ff.dtype
-    membrane = np.empty((timesteps, batch, n_out), dtype=dtype)
-    spikes = np.empty((timesteps, batch, n_out), dtype=dtype)
-    v = np.zeros((batch, n_out), dtype=dtype)
-    s = np.zeros((batch, n_out), dtype=dtype)
-    syn = np.zeros((batch, n_out), dtype=dtype) if alpha is not None else None
-    beta = params.beta
-    hard = params.reset_mode == "zero"
-    for t in range(timesteps):
-        current = ff[t] if w_rec is None else ff[t] + s @ w_rec
-        if alpha is not None:
-            syn = syn * alpha + current
-            current = syn
-        if hard:
-            v = v * (1.0 - s) * beta + current
-        else:
-            v = v * beta - s * vthr + current
-        s = (v - vthr > 0.0).astype(dtype)
-        membrane[t] = v
-        spikes[t] = s
-    return membrane, spikes
+def _lif_spec(params: LIFParameters, vthr, alpha: float | None) -> SweepSpec:
+    return SweepSpec(
+        beta=params.beta,
+        vthr=vthr,
+        hard=params.reset_mode == "zero",
+        alpha=alpha,
+    )
 
 
 class _LIFSequence(Function):
@@ -239,19 +149,25 @@ class _LIFSequence(Function):
 
     @staticmethod
     def forward(ctx, x, w_ff, w_rec, params, vthr):
-        membrane, spikes = _lif_forward_sweep(x, w_ff, w_rec, params, vthr, None)
+        """Run the T-step membrane/spike sweep on the active backend."""
+        executor = backends.active()
+        spec = _lif_spec(params, vthr, alpha=None)
+        membrane, spikes = executor.lif_forward(x @ w_ff, w_rec, spec)
         ctx.save_for_backward(x, w_ff, w_rec, membrane, spikes)
         ctx.params = params
-        ctx.vthr = vthr
+        ctx.spec = spec
+        # The executor is pinned at forward time so backward runs on the
+        # same backend even if REPRO_BACKEND flips mid-graph.
+        ctx.executor = executor
         return spikes
 
     @staticmethod
     def backward(ctx, g_spikes):
+        """Hand-derived BPTT, bitwise-identical to the per-step tape."""
         x, w_ff, w_rec, membrane, spikes = ctx.saved
-        params, vthr = ctx.params, ctx.vthr
-        surrogate = params.surrogate.derivative(membrane - vthr)  # [T, B, N]
-        g_current = _lif_reverse_sweep(
-            g_spikes, surrogate, membrane, spikes, w_rec, params, vthr, alpha=None
+        surrogate = ctx.params.surrogate.derivative(membrane - ctx.spec.vthr)
+        g_current = ctx.executor.lif_backward(
+            g_spikes, surrogate, membrane, spikes, w_rec, ctx.spec
         )
         return _sequence_weight_grads(ctx, x, w_ff, w_rec, spikes, g_current) + (
             None,
@@ -264,20 +180,23 @@ class _CubaLIFSequence(Function):
 
     @staticmethod
     def forward(ctx, x, w_ff, w_rec, params, alpha, vthr):
-        membrane, spikes = _lif_forward_sweep(x, w_ff, w_rec, params, vthr, alpha)
+        """Run the CuBa sweep (synaptic filter + membrane) on the backend."""
+        executor = backends.active()
+        spec = _lif_spec(params, vthr, alpha=alpha)
+        membrane, spikes = executor.lif_forward(x @ w_ff, w_rec, spec)
         ctx.save_for_backward(x, w_ff, w_rec, membrane, spikes)
         ctx.params = params
-        ctx.alpha = alpha
-        ctx.vthr = vthr
+        ctx.spec = spec
+        ctx.executor = executor
         return spikes
 
     @staticmethod
     def backward(ctx, g_spikes):
+        """BPTT through the CuBa recurrences, bitwise vs the per-step tape."""
         x, w_ff, w_rec, membrane, spikes = ctx.saved
-        params, alpha, vthr = ctx.params, ctx.alpha, ctx.vthr
-        surrogate = params.surrogate.derivative(membrane - vthr)
-        g_current = _lif_reverse_sweep(
-            g_spikes, surrogate, membrane, spikes, w_rec, params, vthr, alpha=alpha
+        surrogate = ctx.params.surrogate.derivative(membrane - ctx.spec.vthr)
+        g_current = ctx.executor.lif_backward(
+            g_spikes, surrogate, membrane, spikes, w_rec, ctx.spec
         )
         return _sequence_weight_grads(ctx, x, w_ff, w_rec, spikes, g_current) + (
             None,
@@ -291,33 +210,25 @@ class _LeakyReadoutSequence(Function):
 
     @staticmethod
     def forward(ctx, x, w_ff, beta):
-        projected = x @ w_ff  # [T, B, C]
-        trajectory = np.empty_like(projected)
-        membrane = np.zeros(projected.shape[1:], dtype=projected.dtype)
-        for t in range(projected.shape[0]):
-            membrane = membrane * beta + projected[t]
-            trajectory[t] = membrane
+        """Run the leaky-integrator sweep on the active backend."""
+        executor = backends.active()
+        trajectory = executor.readout_forward(x @ w_ff, beta)
         ctx.save_for_backward(x, w_ff)
         ctx.beta = beta
+        ctx.executor = executor
         return trajectory
 
     @staticmethod
     def backward(ctx, g_trajectory):
+        """Reverse-accumulate the decay chain, then the weight GEMMs."""
         x, w_ff = ctx.saved
-        beta = ctx.beta
         timesteps = g_trajectory.shape[0]
-        # Same bitwise discipline as _lif_reverse_sweep: membrane adjoint
-        # associates as (upstream + decay-path); the feedforward weight
-        # gradient accumulates forward-in-time (feedforward-only graph).
-        g_membrane = np.empty_like(g_trajectory)
-        carry = None
-        for t in range(timesteps - 1, -1, -1):
-            gm = g_trajectory[t] if carry is None else g_trajectory[t] + carry
-            g_membrane[t] = gm
-            carry = gm * beta
+        g_membrane = ctx.executor.readout_backward(g_trajectory, ctx.beta)
         gx = g_membrane @ w_ff.T if ctx.needs_input_grad[0] else None
         gw_ff = None
         if ctx.needs_input_grad[1]:
+            # The feedforward weight gradient accumulates forward-in-time
+            # (feedforward-only graph) — same order as the per-step tape.
             for t in range(timesteps):
                 contribution = x[t].T @ g_membrane[t]
                 gw_ff = contribution if gw_ff is None else gw_ff + contribution
@@ -333,24 +244,20 @@ def lif_sequence(
 ) -> Tensor:
     """Run a whole LIF layer sequence as one fused tape node.
 
-    Parameters
-    ----------
-    x:
-        Input spikes/activations ``[T, B, n_in]``.
-    w_ff:
-        Feedforward weights ``[n_in, n_out]``.
-    params:
-        Neuron constants (decay, reset mode, surrogate family).
-    w_rec:
-        Optional recurrent weights ``[n_out, n_out]``.
-    threshold:
-        Static effective ``Vthr`` — scalar or per-neuron ``[n_out]``
-        array; defaults to ``params.threshold``.  Dynamic thresholds
-        (Alg. 1 controllers) are *not* representable here — callers must
-        use the per-step path for those.
+    Args:
+        x: Input spikes/activations ``[T, B, n_in]``.
+        w_ff: Feedforward weights ``[n_in, n_out]``.
+        params: Neuron constants (decay, reset mode, surrogate family).
+        w_rec: Optional recurrent weights ``[n_out, n_out]``.
+        threshold: Static effective ``Vthr`` — scalar or per-neuron
+            ``[n_out]`` array; defaults to ``params.threshold``.
+            Dynamic thresholds (Alg. 1 controllers) are *not*
+            representable here — callers must use the per-step path for
+            those.
 
-    Returns the output spike raster ``[T, B, n_out]``, numerically
-    identical to ``T`` applications of :func:`repro.snn.neurons.lif_step`.
+    Returns:
+        The output spike raster ``[T, B, n_out]``, numerically identical
+        to ``T`` applications of :func:`repro.snn.neurons.lif_step`.
     """
     x = x if isinstance(x, Tensor) else Tensor(x)
     w_ff = w_ff if isinstance(w_ff, Tensor) else Tensor(w_ff)

@@ -107,6 +107,7 @@ class RecurrentLIFLayer:
 
     # ------------------------------------------------------------------
     def parameters(self) -> list[Tensor]:
+        """Weight Tensors: ``w_ff`` plus ``w_rec`` when recurrent."""
         params = [self.w_ff]
         if self.w_rec is not None:
             params.append(self.w_rec)
@@ -119,15 +120,18 @@ class RecurrentLIFLayer:
 
     @property
     def trainable(self) -> bool:
+        """True when any of this layer's weights require grad."""
         return any(p.requires_grad for p in self.parameters())
 
     def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of this layer's weights, keyed ``w_ff``/``w_rec``."""
         state = {"w_ff": self.w_ff.data.copy()}
         if self.w_rec is not None:
             state["w_rec"] = self.w_rec.data.copy()
         return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore weights from a :meth:`state_dict` copy, in place."""
         if state["w_ff"].shape != self.w_ff.data.shape:
             raise ShapeError(
                 f"w_ff shape {state['w_ff'].shape} != {self.w_ff.data.shape}"
@@ -252,20 +256,25 @@ class LeakyReadout:
         self.w_ff = dense_init(rng, n_in, n_out)
 
     def parameters(self) -> list[Tensor]:
+        """The single feedforward weight Tensor."""
         return [self.w_ff]
 
     def set_trainable(self, flag: bool) -> None:
+        """Freeze (False) or unfreeze (True) the readout weights."""
         for p in self.parameters():
             p.requires_grad = bool(flag)
 
     @property
     def trainable(self) -> bool:
+        """True when the readout weights require grad."""
         return self.w_ff.requires_grad
 
     def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of the readout weights, keyed ``w_ff``."""
         return {"w_ff": self.w_ff.data.copy()}
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore weights from a :meth:`state_dict` copy, in place."""
         if state["w_ff"].shape != self.w_ff.data.shape:
             raise ShapeError(
                 f"w_ff shape {state['w_ff'].shape} != {self.w_ff.data.shape}"

@@ -59,15 +59,11 @@ def _layer_controller(controller, layer) -> ThresholdController | None:
 class ForwardResult:
     """Output of a :meth:`SpikingNetwork.forward` pass.
 
-    Attributes
-    ----------
-    logits:
-        ``[B, num_classes]`` readout maxima (differentiable).
-    trace:
-        Per-layer spike counts, for the hardware cost models.
-    hidden_spikes:
-        Output spike Tensors per executed hidden layer (time-major),
-        present only when ``record_spikes=True``.
+    Attributes:
+        logits: ``[B, num_classes]`` readout maxima (differentiable).
+        trace: Per-layer spike counts, for the hardware cost models.
+        hidden_spikes: Output spike Tensors per executed hidden layer
+            (time-major), present only when ``record_spikes=True``.
     """
 
     logits: Tensor
@@ -133,6 +129,7 @@ class SpikingNetwork:
             )
 
     def parameters(self) -> list[Tensor]:
+        """All weight Tensors, hidden layers first, readout last."""
         params: list[Tensor] = []
         for layer in self.hidden_layers:
             params.extend(layer.parameters())
@@ -140,9 +137,11 @@ class SpikingNetwork:
         return params
 
     def trainable_parameters(self) -> list[Tensor]:
+        """Subset of :meth:`parameters` with ``requires_grad`` set."""
         return [p for p in self.parameters() if p.requires_grad]
 
     def set_trainable(self, flag: bool) -> None:
+        """Mark every weight layer trainable (or frozen) at once."""
         for layer in self.hidden_layers:
             layer.set_trainable(flag)
         self.readout.set_trainable(flag)
@@ -173,11 +172,13 @@ class SpikingNetwork:
         self.readout.set_trainable(True)
 
     def state_dict(self) -> dict[str, dict[str, np.ndarray]]:
+        """Copy of all weights, keyed by layer name."""
         state = {layer.name: layer.state_dict() for layer in self.hidden_layers}
         state["readout"] = self.readout.state_dict()
         return state
 
     def load_state_dict(self, state: dict[str, dict[str, np.ndarray]]) -> None:
+        """Restore weights from a :meth:`state_dict` copy, in place."""
         for layer in self.hidden_layers:
             layer.load_state_dict(state[layer.name])
         self.readout.load_state_dict(state["readout"])
@@ -202,29 +203,25 @@ class SpikingNetwork:
     ) -> ForwardResult:
         """Run weight layers ``start_layer .. L-1``.
 
-        Parameters
-        ----------
-        inputs:
-            ``[T, B, layer_input_size(start_layer)]`` spike raster — the
-            dataset encoding for ``start_layer=0``, or latent activations
-            when replaying into a later layer.
-        controller:
-            :data:`ControllerLike` — a shared controller (reset per
-            layer), a per-layer factory, or None for the static
-            threshold.
-        record_spikes:
-            Keep per-layer output rasters (needed when generating latent
-            replay data).
-        controller_from_layer:
-            First weight-layer index the controller applies to; earlier
-            layers run at their static threshold.  NCL evaluation uses
-            this to confine adaptive thresholds to the *learning* layers
-            (Alg. 1 adapts ``netl``, not the frozen front).
-        class_mask:
-            Optional boolean ``[num_classes]`` readout mask restricting
-            the logits to the active task's classes (task-incremental
-            inference).  ``None`` or a full mask leaves the logits
-            bitwise-unchanged; see :meth:`LeakyReadout.forward`.
+        Args:
+            inputs: ``[T, B, layer_input_size(start_layer)]`` spike
+                raster — the dataset encoding for ``start_layer=0``, or
+                latent activations when replaying into a later layer.
+            controller: :data:`ControllerLike` — a shared controller
+                (reset per layer), a per-layer factory, or None for the
+                static threshold.
+            record_spikes: Keep per-layer output rasters (needed when
+                generating latent replay data).
+            controller_from_layer: First weight-layer index the
+                controller applies to; earlier layers run at their
+                static threshold.  NCL evaluation uses this to confine
+                adaptive thresholds to the *learning* layers (Alg. 1
+                adapts ``netl``, not the frozen front).
+            class_mask: Optional boolean ``[num_classes]`` readout mask
+                restricting the logits to the active task's classes
+                (task-incremental inference).  ``None`` or a full mask
+                leaves the logits bitwise-unchanged; see
+                :meth:`LeakyReadout.forward`.
         """
         x = inputs if isinstance(inputs, Tensor) else Tensor(inputs)
         self._check_layer_index(start_layer)

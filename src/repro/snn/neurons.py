@@ -32,18 +32,14 @@ __all__ = ["LIFParameters", "lif_step", "cuba_lif_step", "resolve_threshold"]
 class LIFParameters:
     """Per-layer neuron constants.
 
-    Attributes
-    ----------
-    beta:
-        Membrane decay per timestep, ``exp(-dt/tau)`` in Eq. (1).
-    threshold:
-        Baseline threshold potential ``Vthr``; may be overridden per
-        timestep by a threshold controller (Alg. 1).
-    reset_mode:
-        ``"zero"`` — hard reset to ``Vrst = 0`` after a spike (Eq. 2);
-        ``"subtract"`` — subtract ``Vthr`` (soft reset).
-    surrogate:
-        Pseudo-derivative family for the backward pass.
+    Attributes:
+        beta: Membrane decay per timestep, ``exp(-dt/tau)`` in Eq. (1).
+        threshold: Baseline threshold potential ``Vthr``; may be
+            overridden per timestep by a threshold controller (Alg. 1).
+        reset_mode: ``"zero"`` — hard reset to ``Vrst = 0`` after a
+            spike (Eq. 2); ``"subtract"`` — subtract ``Vthr`` (soft
+            reset).
+        surrogate: Pseudo-derivative family for the backward pass.
     """
 
     beta: float = 0.95
@@ -91,27 +87,20 @@ def lif_step(
 ) -> tuple[Tensor, Tensor]:
     """Advance one LIF timestep.
 
-    Parameters
-    ----------
-    membrane:
-        ``V[t-1]``, shape ``[B, N]``.
-    prev_spikes:
-        ``S[t-1]``, shape ``[B, N]`` (binary).
-    current:
-        Input current ``I[t]`` (already projected through the weights).
-    params:
-        Neuron constants.
-    threshold:
-        Effective ``Vthr`` for this step: scalar, or a per-neuron array
-        ``[N]`` broadcast against the batch.  Defaults to
-        ``params.threshold``.  This is the hook the adaptive threshold
-        controllers (Alg. 1 lines 10-17 / 25-30) use to modulate
-        excitability per timestep.
+    Args:
+        membrane: ``V[t-1]``, shape ``[B, N]``.
+        prev_spikes: ``S[t-1]``, shape ``[B, N]`` (binary).
+        current: Input current ``I[t]`` (already projected through the
+            weights).
+        params: Neuron constants.
+        threshold: Effective ``Vthr`` for this step: scalar, or a
+            per-neuron array ``[N]`` broadcast against the batch.
+            Defaults to ``params.threshold``.  This is the hook the
+            adaptive threshold controllers (Alg. 1 lines 10-17 / 25-30)
+            use to modulate excitability per timestep.
 
-    Returns
-    -------
-    (membrane, spikes):
-        ``V[t]`` and ``S[t]``.
+    Returns:
+        ``(membrane, spikes)`` — ``V[t]`` and ``S[t]``.
     """
     vthr = resolve_threshold(params, threshold, dtype=membrane.data.dtype)
 

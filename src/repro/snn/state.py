@@ -18,21 +18,18 @@ __all__ = ["LayerTraceEntry", "SpikeTrace"]
 class LayerTraceEntry:
     """Per-layer activity record for one forward pass.
 
-    Attributes
-    ----------
-    name:
-        Layer identifier (``"hidden0"``, ..., ``"readout"``).
-    n_in / n_out:
-        Fan-in / fan-out of the dense projection.
-    recurrent:
-        Whether the layer has an ``n_out x n_out`` recurrent projection.
-    input_spike_count:
-        Total presynaptic events into the feedforward projection, summed
-        over timesteps and batch.
-    output_spike_count:
-        Total spikes emitted by the layer (0 for the readout).
-    timesteps / batch:
-        Temporal and batch extent of the pass.
+    Attributes:
+        name: Layer identifier (``"hidden0"``, ..., ``"readout"``).
+        n_in: Fan-in of the dense projection.
+        n_out: Fan-out of the dense projection.
+        recurrent: Whether the layer has an ``n_out x n_out`` recurrent
+            projection.
+        input_spike_count: Total presynaptic events into the feedforward
+            projection, summed over timesteps and batch.
+        output_spike_count: Total spikes emitted by the layer (0 for the
+            readout).
+        timesteps: Temporal extent of the pass.
+        batch: Batch extent of the pass.
     """
 
     name: str
@@ -52,6 +49,7 @@ class SpikeTrace:
     entries: list[LayerTraceEntry] = field(default_factory=list)
 
     def add(self, entry: LayerTraceEntry) -> None:
+        """Append one layer's activity record."""
         self.entries.append(entry)
 
     @property
@@ -61,10 +59,12 @@ class SpikeTrace:
 
     @property
     def timesteps(self) -> int:
+        """Temporal extent of the traced pass (0 when empty)."""
         return self.entries[0].timesteps if self.entries else 0
 
     @property
     def batch(self) -> int:
+        """Batch extent of the traced pass (0 when empty)."""
         return self.entries[0].batch if self.entries else 0
 
     def merge(self, other: "SpikeTrace") -> "SpikeTrace":

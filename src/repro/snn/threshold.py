@@ -47,16 +47,14 @@ class ThresholdController:
     def step(self, t: int, spike_counts, spike_time_sums):
         """Observe timestep ``t`` activity and return ``Vthr`` for the next step.
 
-        Parameters
-        ----------
-        t:
-            Timestep index in ``0..T-1``.
-        spike_counts:
-            Spikes emitted at ``t``, summed over the batch, as a
-            per-neuron array ``[n]`` (scalar controllers reduce it).
-        spike_time_sums:
-            Per-neuron sums of spike times (each spike contributes
-            ``t``), so controllers can maintain running means.
+        Args:
+            t: Timestep index in ``0..T-1``.
+            spike_counts: Spikes emitted at ``t``, summed over the
+                batch, as a per-neuron array ``[n]`` (scalar controllers
+                reduce it).
+            spike_time_sums: Per-neuron sums of spike times (each spike
+                contributes ``t``), so controllers can maintain running
+                means.
         """
         raise NotImplementedError
 
@@ -74,14 +72,16 @@ class StaticThreshold(ThresholdController):
             raise ConfigError(f"threshold must be positive, got {value}")
         self._value = float(value)
 
-    def reset(self) -> None:  # noqa: D102 - stateless
-        pass
+    def reset(self) -> None:
+        """No state to restore."""
 
     def step(self, t: int, spike_counts, spike_time_sums) -> float:
+        """Ignore activity; the threshold never moves."""
         return self._value
 
     @property
     def value(self) -> float:
+        """The constant threshold."""
         return self._value
 
     def __repr__(self) -> str:
@@ -91,22 +91,19 @@ class StaticThreshold(ThresholdController):
 class AdaptiveSpikeTimingThreshold(ThresholdController):
     """Alg. 1's dynamic threshold policy.
 
-    Parameters
-    ----------
-    timesteps:
-        ``Tstep`` of the NCL phase — enters the spike-timing formula.
-    adjust_interval:
-        Spike-timing updates happen when ``t % adjust_interval == 0``
-        (Alg. 1 line 10); other steps use the sigmoidal decay.  Pass 1 to
-        update on every step (the NCL-training variant, lines 25-30).
-    gain:
-        The 0.01 coefficient of the spike-timing term.
-    decay_rate:
-        The 0.001 coefficient inside the sigmoidal decay.
-    floor / ceil:
-        Safety clamp keeping ``Vthr`` in a sane band; the paper's formulas
-        already stay within it for T <= 100, the clamp guards pathological
-        configurations.
+    Attributes:
+        timesteps: ``Tstep`` of the NCL phase — enters the spike-timing
+            formula.
+        adjust_interval: Spike-timing updates happen when
+            ``t % adjust_interval == 0`` (Alg. 1 line 10); other steps
+            use the sigmoidal decay.  Pass 1 to update on every step
+            (the NCL-training variant, lines 25-30).
+        gain: The 0.01 coefficient of the spike-timing term.
+        decay_rate: The 0.001 coefficient inside the sigmoidal decay.
+        floor: Lower safety clamp on ``Vthr``.
+        ceil: Upper safety clamp on ``Vthr``.  The paper's formulas
+            already stay inside the band for T <= 100; the clamp guards
+            pathological configurations.
     """
 
     def __init__(
@@ -135,6 +132,7 @@ class AdaptiveSpikeTimingThreshold(ThresholdController):
         self.reset()
 
     def reset(self) -> None:
+        """Restore the initial threshold and clear spike statistics."""
         self._value = self.initial
         self._spike_count = 0.0
         self._spike_time_sum = 0.0
@@ -157,6 +155,7 @@ class AdaptiveSpikeTimingThreshold(ThresholdController):
 
     @property
     def value(self) -> float:
+        """Current scalar threshold."""
         return self._value
 
     @property
@@ -222,11 +221,13 @@ class PerNeuronAdaptiveThreshold(ThresholdController):
         self.reset()
 
     def reset(self) -> None:
+        """Restore the initial per-neuron thresholds and clear statistics."""
         self._value = np.full(self.num_neurons, self.initial, dtype=np.float32)
         self._spike_counts = np.zeros(self.num_neurons, dtype=np.float64)
         self._spike_time_sums = np.zeros(self.num_neurons, dtype=np.float64)
 
     def step(self, t: int, spike_counts, spike_time_sums) -> np.ndarray:
+        """Apply the Alg. 1 rules independently per neuron."""
         spike_counts = np.asarray(spike_counts, dtype=np.float64)
         if spike_counts.shape != (self.num_neurons,):
             raise ConfigError(
@@ -255,10 +256,12 @@ class PerNeuronAdaptiveThreshold(ThresholdController):
 
     @property
     def value(self) -> np.ndarray:
+        """Current per-neuron thresholds, shape ``[num_neurons]``."""
         return self._value
 
     @property
     def mean_threshold(self) -> float:
+        """Population mean of the per-neuron thresholds."""
         return float(self._value.mean())
 
     def __repr__(self) -> str:

@@ -33,6 +33,30 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Replay4NCL" in out
 
+    def test_backends_table(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRO_BACKEND=numpy" in out
+        for name in ("numpy", "c", "torch"):
+            assert name in out
+        assert "* numpy" in out  # the selected row is starred
+
+    def test_backends_unsatisfiable_selection(self, capsys, monkeypatch):
+        from repro.snn import backends
+
+        monkeypatch.setattr(
+            backends.get_backend("torch"),
+            "availability",
+            lambda: (False, "the torch package is not importable"),
+        )
+        monkeypatch.setenv("REPRO_BACKEND", "torch")
+        assert main(["backends"]) == 2
+        captured = capsys.readouterr()
+        # The table still prints (diagnostic), the error goes to stderr.
+        assert "unavailable" in captured.out
+        assert "torch" in captured.err
+
     def test_run_fig12_ci(self, capsys, tmp_path):
         code = main(["run", "fig12", "--scale", "ci", "--save-dir", str(tmp_path),
                      "--no-plot"])

@@ -3,11 +3,16 @@
 import pytest
 
 from repro.config import (
+    BACKEND_CHOICES,
+    ENV_FLAGS,
     PAPER_LAYER_SIZES,
     ExperimentConfig,
     NCLConfig,
     NetworkConfig,
     PretrainConfig,
+    backend_selection,
+    env_flag,
+    env_switch,
 )
 from repro.errors import ConfigError
 
@@ -116,3 +121,55 @@ class TestExperimentConfig:
         cfg = ExperimentConfig()
         with pytest.raises(ConfigError):
             cfg.replace(num_pretrain_classes=25)
+
+
+class TestEnvFlags:
+    """The consolidated REPRO_* environment-variable registry."""
+
+    def test_declared_flags_are_complete(self):
+        names = [flag.name for flag in ENV_FLAGS]
+        assert names == [
+            "REPRO_BACKEND",
+            "REPRO_FUSED_KERNELS",
+            "REPRO_PREFETCH",
+            "REPRO_BENCH_SCALE",
+            "REPRO_CACHE",
+        ]
+        assert len(set(names)) == len(names)
+
+    def test_every_flag_documented(self):
+        for flag in ENV_FLAGS:
+            assert flag.name.startswith("REPRO_")
+            assert flag.description and flag.values and flag.default is not None
+
+    def test_env_flag_lookup(self):
+        assert env_flag("REPRO_BACKEND").default == "auto"
+        with pytest.raises(ConfigError, match="declared flags"):
+            env_flag("REPRO_TURBO")
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("1", True), ("yes", True), ("on", True),
+        ("0", False), ("false", False), ("OFF", False),
+    ])
+    def test_env_switch_parsing(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_FUSED_KERNELS", raw)
+        assert env_switch("REPRO_FUSED_KERNELS") is expected
+
+    def test_env_switch_defaults_on_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PREFETCH", raising=False)
+        assert env_switch("REPRO_PREFETCH") is True
+
+    def test_backend_selection_default_and_validation(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert backend_selection() == "auto"
+        monkeypatch.setenv("REPRO_BACKEND", "  C  ")
+        assert backend_selection() == "c"
+        monkeypatch.setenv("REPRO_BACKEND", "cuda")
+        with pytest.raises(ConfigError, match="REPRO_BACKEND"):
+            backend_selection()
+
+    def test_backend_choices_match_registry_names(self):
+        from repro.snn import backends
+
+        registered = {executor.name for executor in backends.all_backends()}
+        assert registered == set(BACKEND_CHOICES) - {"auto"}

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro",
     "repro.autograd",
     "repro.snn",
+    "repro.snn.backends",
     "repro.data",
     "repro.compression",
     "repro.replaystore",
