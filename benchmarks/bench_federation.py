@@ -32,6 +32,7 @@ import shutil
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.data.loaders import DataLoader
 from repro.replaystore import (
     ConcatReplaySource,
@@ -185,15 +186,39 @@ def _epoch(source, labels, compute, *, batch_size=16, seed=2):
 def _bench_epoch(benchmark, workload, prefetch):
     # One stream serves every round (matching NCLMethod.run): the
     # per-epoch timing must not re-pay worker start-up each round.
+    # Recording runs under an explicit obs recorder so the result rows
+    # carry the queue-depth / cache-hit numbers the prefetch tuning
+    # item needs (aggregated across every timed round).
     dense, member, labels, compute = workload
-    replay = PrefetchingStream(
-        ReplayStream(member, cache_shards=2), enabled=prefetch
-    )
-    try:
-        source = ConcatReplaySource(dense, replay)
-        benchmark(lambda: _epoch(source, labels, compute))
-    finally:
-        replay.close()
+    recorder = obs.Recorder()
+    with obs.use_recorder(recorder):
+        replay = PrefetchingStream(
+            ReplayStream(member, cache_shards=2), enabled=prefetch
+        )
+        try:
+            source = ConcatReplaySource(dense, replay)
+            benchmark(lambda: _epoch(source, labels, compute))
+        finally:
+            replay.close()
+    hits = misses = 0.0
+    for metric in recorder.metrics():
+        if metric.name == "prefetch.queue_depth":
+            benchmark.extra_info["queue_depth_max"] = metric.high
+            benchmark.extra_info["queue_depth_mean"] = round(metric.mean, 3)
+        elif metric.name == "prefetch.wait_seconds":
+            benchmark.extra_info["prefetch_wait_mean_s"] = round(metric.mean, 6)
+        elif metric.name == "prefetch.queued":
+            benchmark.extra_info["prefetch_queued"] = metric.total
+        elif metric.name == "prefetch.dropped":
+            benchmark.extra_info["prefetch_dropped"] = metric.total
+        elif metric.name == "store.cache_hits":
+            hits = metric.total
+        elif metric.name == "store.cache_misses":
+            misses = metric.total
+    benchmark.extra_info["cache_hits"] = hits
+    benchmark.extra_info["cache_misses"] = misses
+    if hits + misses:
+        benchmark.extra_info["cache_hit_rate"] = round(hits / (hits + misses), 4)
 
 
 def test_replay_epoch_prefetch_on(benchmark, workload):

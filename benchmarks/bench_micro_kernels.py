@@ -190,6 +190,31 @@ def test_backend_readout_forward_backward(benchmark, rng, backend_name, monkeypa
     benchmark(run)
 
 
+# ----------------------------------------------------------------------
+# Tracing overhead: exactly the obs calls one fused LIF forward+backward
+# issues (2x counter + 2x span) with tracing disabled, i.e. the no-op
+# cost the instrumentation adds to every kernel sweep when REPRO_TRACE
+# is off.  check_regression.py gates this row at < 2% of the fused
+# kernel's own mean so the disabled path stays effectively free.
+# ----------------------------------------------------------------------
+
+def test_trace_disabled_overhead(benchmark, monkeypatch):
+    from repro import obs
+
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    assert not obs.enabled()
+
+    def disabled_calls():
+        obs.count("kernel.calls", backend="numpy", kernel="lif_forward")
+        with obs.span("kernel.lif_forward", category="kernel", backend="numpy"):
+            pass
+        obs.count("kernel.calls", backend="numpy", kernel="lif_backward")
+        with obs.span("kernel.lif_backward", category="kernel", backend="numpy"):
+            pass
+
+    benchmark(disabled_calls)
+
+
 def test_subsample_codec_roundtrip(benchmark, rng):
     raster = (rng.random((100, 64, 64)) < 0.1).astype(np.float32)
     codec = TemporalSubsampleCodec(2)

@@ -36,6 +36,11 @@ RESULTS_JSON = BENCH_DIR / "results" / "micro_kernels.json"
 FUSED_BENCH = "test_fused_lif_forward_backward"
 PER_STEP_BENCH = "test_per_step_lif_forward_backward"
 
+TRACE_OVERHEAD_BENCH = "test_trace_disabled_overhead"
+#: Disabled-path tracing calls (per fused fwd+bwd) must cost less than
+#: this fraction of the fused kernel row itself.
+TRACE_OVERHEAD_LIMIT = 0.02
+
 #: Per-backend rows (test_backend_*[name]) skip when their backend is
 #: unavailable on a runner, so they are optional in baseline checks.
 BACKEND_ROW_PREFIX = "test_backend_"
@@ -132,6 +137,33 @@ def check_backend_speedup(means: dict[str, float]) -> list[str]:
     return failures
 
 
+def check_trace_overhead(
+    means: dict[str, float], limit: float = TRACE_OVERHEAD_LIMIT
+) -> list[str]:
+    """The disabled-tracing no-op path must stay below ``limit`` of the
+    fused kernel's own mean — instrumentation may not tax the default
+    (untraced) hot path measurably."""
+    failures: list[str] = []
+    overhead = means.get(TRACE_OVERHEAD_BENCH)
+    fused = means.get(FUSED_BENCH)
+    if overhead is None or fused is None:
+        failures.append(
+            f"trace overhead pair missing from results: need "
+            f"{TRACE_OVERHEAD_BENCH} and {FUSED_BENCH}"
+        )
+        return failures
+    fraction = overhead / fused
+    line = (
+        f"disabled tracing: {overhead * 1e9:.0f} ns of obs calls per fused "
+        f"fwd+bwd ({fraction * 100:.3f}% of the {fused * 1e6:.1f} us kernel; "
+        f"limit {limit * 100:.0f}%)"
+    )
+    print(line)
+    if fraction > limit:
+        failures.append(f"disabled-tracing overhead regressed: {line}")
+    return failures
+
+
 def check_baseline(
     means: dict[str, float], baseline: dict, tolerance: float
 ) -> list[str]:
@@ -217,6 +249,7 @@ def main(argv: list[str] | None = None) -> int:
 
     failures = check_speedup(means, args.min_speedup)
     failures += check_backend_speedup(means)
+    failures += check_trace_overhead(means)
     if BASELINE_FILE.exists():
         baseline = json.loads(BASELINE_FILE.read_text())
         failures += check_baseline(means, baseline, args.tolerance)

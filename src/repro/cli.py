@@ -12,6 +12,8 @@ Usage::
     python -m repro backends                  # kernel backend table
     python -m repro store stats runs/buffer   # replay-store maintenance
     python -m repro store federate runs/seq   # compose per-task stores
+    python -m repro trace summary runs/trace.jsonl   # top spans + metrics
+    python -m repro trace export runs/trace.jsonl    # Chrome/Perfetto JSON
 """
 
 from __future__ import annotations
@@ -80,6 +82,30 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument(
         "--budget-bytes", type=int, default=None,
         help="global federation byte budget across all steps' stores",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="summarize or convert recorded trace files (REPRO_TRACE)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary", help="top spans + metric table of a trace JSONL file"
+    )
+    trace_summary.add_argument("path", help="trace JSONL file (REPRO_TRACE=<path>)")
+    trace_summary.add_argument(
+        "--top", type=int, default=10, help="span names to show (default 10)"
+    )
+    trace_summary.add_argument(
+        "--tree", action="store_true", help="also print the span tree"
+    )
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="convert a trace JSONL to Chrome trace_event JSON (Perfetto)",
+    )
+    trace_export.add_argument("path", help="trace JSONL file (REPRO_TRACE=<path>)")
+    trace_export.add_argument(
+        "-o", "--output", default=None,
+        help="output file (default: <path> with a .chrome.json suffix)",
     )
 
     compare = sub.add_parser(
@@ -368,6 +394,29 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import TraceReport, read_jsonl, write_chrome
+
+    spans, metrics = read_jsonl(args.path)
+    if args.trace_command == "summary":
+        report = TraceReport(spans=spans, metrics=metrics)
+        print(report.describe(top=args.top))
+        if args.tree:
+            print()
+            print(report.tree())
+        return 0
+    output = (
+        Path(args.output)
+        if args.output is not None
+        else Path(args.path).with_suffix(".chrome.json")
+    )
+    write_chrome(output, spans)
+    print(f"wrote {len(spans)} spans to {output} (load in Perfetto/chrome://tracing)")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.eval.paper_targets import compare_to_paper, format_comparison
 
@@ -398,6 +447,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_scenario(args)
         if args.command == "store":
             return _cmd_store(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         return _cmd_run(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

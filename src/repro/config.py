@@ -26,6 +26,7 @@ __all__ = [
     "env_switch",
     "BACKEND_CHOICES",
     "backend_selection",
+    "trace_selection",
 ]
 
 # The paper's Fig. 6 architecture: 700 input channels, hidden layers of
@@ -314,6 +315,13 @@ ENV_FLAGS: tuple[EnvFlag, ...] = (
         "directory path",
         "Directory for cached pre-trained weights and compiled C kernels.",
     ),
+    EnvFlag(
+        "REPRO_TRACE",
+        "0",
+        "0 | 1 | file path",
+        "Structured tracing (`repro.obs`): 1 records spans/metrics "
+        "in-process, a file path additionally exports them as JSONL.",
+    ),
 )
 
 
@@ -359,3 +367,21 @@ def backend_selection() -> str:
             f"got {raw!r}"
         )
     return raw
+
+
+def trace_selection() -> tuple[bool, str | None]:
+    """The parsed ``REPRO_TRACE`` selection for this process.
+
+    Returns ``(enabled, export_path)``: ``("0"|"false"|"off"|"")``
+    disables tracing, ``("1"|"true"|"on")`` enables in-process recording
+    only, and any other value enables recording *and* names the JSONL
+    file traced runs export to.  Consulted at every use site, so
+    flipping the variable mid-process takes effect immediately.
+    """
+    raw = os.environ.get("REPRO_TRACE", env_flag("REPRO_TRACE").default).strip()
+    low = raw.lower()
+    if low in ("", "0", "false", "off"):
+        return (False, None)
+    if low in ("1", "true", "on"):
+        return (True, None)
+    return (True, raw)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.config import ExperimentConfig
 from repro.core.latent_replay import LatentReplayBuffer
 from repro.core.replayspec import UNSET, ReplaySpec, resolve_replay_spec
@@ -87,6 +88,9 @@ class NCLResult:
     #: store-backed training (the stream's LRU residency); 0 for
     #: in-memory runs, where the whole buffer is always resident.
     replay_peak_resident_bytes: int = 0
+    #: Spans + metrics this run recorded (see :mod:`repro.obs`); None
+    #: unless tracing was enabled (``REPRO_TRACE``/``obs.use_recorder``).
+    trace: obs.TraceReport | None = None
 
     def summary(self) -> str:
         return (
@@ -203,6 +207,8 @@ class NCLMethod:
                 "no federation to configure"
             )
         config = self.config
+        recorder = obs.current()
+        trace_mark = recorder.mark()
         network = pretrained.clone()
         insertion = self.insertion_layer()
         timesteps = self.ncl_timesteps()
@@ -215,39 +221,40 @@ class NCLMethod:
         buffer: LatentReplayBuffer | None = None
         store = None
         if self.uses_replay():
-            replay_subset = split.pretrain_train.sample_fraction(
-                config.ncl.replay_fraction, spawn(config.seed, "replay-subset")
-            )
-            if replay.store_backed:
-                store, generation_trace = LatentReplayBuffer.generate_into_store(
-                    network,
-                    replay_subset,
-                    replay.store_dir,
-                    insertion_layer=insertion,
-                    timesteps=timesteps,
-                    compression_factor=self.compression_factor(),
-                    controller=self.make_generation_controller(),
-                    shard_samples=replay.shard_samples,
-                    overwrite=replay.overwrite,
+            with obs.span("ncl.prepare", category="scenario", method=self.name):
+                replay_subset = split.pretrain_train.sample_fraction(
+                    config.ncl.replay_fraction, spawn(config.seed, "replay-subset")
                 )
-                prepare_cost.frozen_traces.append(generation_trace)
-            else:
-                buffer = LatentReplayBuffer.generate(
-                    network,
-                    replay_subset,
-                    insertion_layer=insertion,
-                    timesteps=timesteps,
-                    compression_factor=self.compression_factor(),
-                    controller=self.make_generation_controller(),
-                )
-                prepare_cost.frozen_traces.append(
-                    self._frozen_trace(
+                if replay.store_backed:
+                    store, generation_trace = LatentReplayBuffer.generate_into_store(
                         network,
-                        insertion,
-                        replay_subset.to_dense(timesteps),
+                        replay_subset,
+                        replay.store_dir,
+                        insertion_layer=insertion,
+                        timesteps=timesteps,
+                        compression_factor=self.compression_factor(),
+                        controller=self.make_generation_controller(),
+                        shard_samples=replay.shard_samples,
+                        overwrite=replay.overwrite,
+                    )
+                    prepare_cost.frozen_traces.append(generation_trace)
+                else:
+                    buffer = LatentReplayBuffer.generate(
+                        network,
+                        replay_subset,
+                        insertion_layer=insertion,
+                        timesteps=timesteps,
+                        compression_factor=self.compression_factor(),
                         controller=self.make_generation_controller(),
                     )
-                )
+                    prepare_cost.frozen_traces.append(
+                        self._frozen_trace(
+                            network,
+                            insertion,
+                            replay_subset.to_dense(timesteps),
+                            controller=self.make_generation_controller(),
+                        )
+                    )
 
         # ---- current-task activations (Alg. 1 line 23) ----------------
         new_inputs = split.new_train.to_dense(timesteps)
@@ -343,15 +350,21 @@ class NCLMethod:
                 labels = np.concatenate([old_labels, new_test_labels])
                 return top1_accuracy(preds, labels)
 
-            history = trainer.fit(
-                train_inputs,
-                train_labels,
-                evaluators={
-                    "old_task_accuracy": eval_old,
-                    "new_task_accuracy": eval_new,
-                    "overall_accuracy": eval_overall,
-                },
-            )
+            with obs.span(
+                "ncl.train",
+                category="scenario",
+                method=self.name,
+                epochs=config.ncl.epochs,
+            ):
+                history = trainer.fit(
+                    train_inputs,
+                    train_labels,
+                    evaluators={
+                        "old_task_accuracy": eval_old,
+                        "new_task_accuracy": eval_new,
+                        "overall_accuracy": eval_overall,
+                    },
+                )
         finally:
             if replay_view is not None:
                 replay_view.close()
@@ -361,6 +374,8 @@ class NCLMethod:
             trainer, network, insertion, new_inputs, decompressed_cells, timesteps
         )
 
+        trace = obs.TraceReport.capture(recorder, trace_mark)
+        obs.maybe_export()
         final = history.final()
         return NCLResult(
             method=self.name,
@@ -377,6 +392,7 @@ class NCLMethod:
             network=network,
             replay_store_path=store_path,
             replay_peak_resident_bytes=peak_resident,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,54 @@
+"""Injectable time sources for the trace recorder.
+
+Spans measure *durations*, so the recorder wants a monotonic clock, not
+wall time.  The clock is injectable so tests can drive span timings
+deterministically (:class:`ManualClock`) while production recording uses
+:class:`MonotonicClock` (``time.perf_counter``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+__all__ = ["Clock", "MonotonicClock", "ManualClock"]
+
+
+class Clock(Protocol):
+    """Anything with a monotonic ``now()`` in float seconds."""
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        ...  # pragma: no cover - protocol stub
+
+
+class MonotonicClock:
+    """The production clock: ``time.perf_counter`` seconds."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        """Current ``time.perf_counter()`` reading in seconds."""
+        return time.perf_counter()
+
+
+class ManualClock:
+    """A hand-advanced clock for deterministic span timings in tests.
+
+    Attributes:
+        time: The value the next :meth:`now` call returns, in seconds.
+    """
+
+    __slots__ = ("time",)
+
+    def __init__(self, start: float = 0.0):
+        self.time = float(start)
+
+    def now(self) -> float:
+        """Current manual time in seconds (does not auto-advance)."""
+        return self.time
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        self.time += float(seconds)
+        return self.time

@@ -42,6 +42,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.compression.bitpack import BitpackCodec
 from repro.errors import StoreError
 from repro.replaystore.builder import SAMPLE_HEADER_BYTES
@@ -383,6 +384,15 @@ class FederatedReplayStore:
         """
         if not self.over_budget():
             return 0
+        with obs.span(
+            "federation.rebalance", category="store", members=self.num_members
+        ) as _span:
+            evicted = self._rebalance(_span)
+        obs.count("federation.evictions", evicted)
+        return evicted
+
+    def _rebalance(self, _span) -> int:
+        """The budget-enforcement pass :meth:`rebalance` wraps in a span."""
         capacity = self.budget_bytes // self.sample_bytes
         if capacity < 1:
             raise StoreError(
@@ -418,6 +428,7 @@ class FederatedReplayStore:
             evicted += store.filter(survivors)
         self.rebalances += 1
         self._write_index()
+        _span.set(evicted=evicted)
         return evicted
 
     # ------------------------------------------------------------------
@@ -525,10 +536,13 @@ class FederatedReplayStream:
             (self.timesteps, indices.size, self.num_channels), dtype=np.float32
         )
         member_of = np.searchsorted(self._bounds, indices, side="right") - 1
-        for member in np.unique(member_of):
-            mask = member_of == member
-            local = indices[mask] - self._bounds[member]
-            out[:, mask, :] = self.streams[int(member)].gather(local)
+        with obs.span(
+            "federation.gather", category="store", samples=int(indices.size)
+        ):
+            for member in np.unique(member_of):
+                mask = member_of == member
+                local = indices[mask] - self._bounds[member]
+                out[:, mask, :] = self.streams[int(member)].gather(local)
         return out
 
     def __iter__(self):

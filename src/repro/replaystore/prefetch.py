@@ -25,6 +25,7 @@ import threading
 
 import numpy as np
 
+from repro import obs
 from repro.config import env_switch
 from repro.errors import StoreError
 from repro.replaystore.stream import ReplayStream
@@ -109,10 +110,15 @@ class PrefetchingStream:
             item = self._queue.get()
             if item is _STOP:
                 return
+            shard_id, enqueued_at = item
+            obs.observe("prefetch.wait_seconds", obs.now() - enqueued_at)
             try:
                 with self._lock:
-                    if item not in self.stream._cache:
-                        self.stream._decoded(int(item))
+                    if shard_id not in self.stream._cache:
+                        with obs.span(
+                            "prefetch.decode", category="store", shard=shard_id
+                        ):
+                            self.stream._decoded(int(shard_id))
                         self.prefetched_shards += 1
             except BaseException as error:  # propagate on next public call
                 self._error = error
@@ -194,10 +200,14 @@ class PrefetchingStream:
         assert self._queue is not None
         for shard_id in missing:
             try:
-                self._queue.put_nowait(shard_id)
+                self._queue.put_nowait((shard_id, obs.now()))
                 queued += 1
             except queue.Full:
+                obs.count("prefetch.dropped", len(missing) - queued)
                 break
+        if queued:
+            obs.count("prefetch.queued", queued)
+        obs.gauge("prefetch.queue_depth", self._queue.qsize())
         return queued
 
     def __iter__(self):

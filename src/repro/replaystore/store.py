@@ -26,6 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.errors import StoreError
 from repro.replaystore.format import decode_shard, encode_shard, peek_header
 
@@ -293,7 +294,11 @@ class ReplayStore:
 
     def _write_shard(self, raster: np.ndarray, labels: np.ndarray) -> int:
         shard_id = len(self.shards)
-        blob = encode_shard(raster, labels)
+        with obs.span("store.encode_shard", category="store", shard=shard_id) as sp:
+            blob = encode_shard(raster, labels)
+            sp.set(bytes=len(blob), samples=int(raster.shape[1]))
+        obs.count("store.bytes_encoded", len(blob))
+        obs.count("store.shards_encoded")
         header = peek_header(blob)
         name = f"shard-{shard_id:05d}.bin"
         (self.root / name).write_bytes(blob)
@@ -319,7 +324,12 @@ class ReplayStore:
         path = self.root / info.file
         if not path.exists():
             raise StoreError(f"shard file missing: {path}")
-        raster, labels = decode_shard(path.read_bytes())
+        with obs.span("store.decode_shard", category="store", shard=shard_id) as sp:
+            blob = path.read_bytes()
+            sp.set(bytes=len(blob))
+            raster, labels = decode_shard(blob)
+        obs.count("store.bytes_decoded", len(blob))
+        obs.count("store.shards_decoded")
         if raster.shape[1] != info.num_samples or not np.array_equal(
             labels, np.asarray(info.labels, dtype=np.int64)
         ):

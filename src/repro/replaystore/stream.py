@@ -21,6 +21,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro import obs
 from repro.compression.subsample import TemporalSubsampleCodec
 from repro.errors import StoreError
 from repro.replaystore.store import ReplayStore
@@ -114,7 +115,9 @@ class ReplayStream:
         """Decoded (and optionally decompressed) shard, via the LRU."""
         if shard_id in self._cache:
             self._cache.move_to_end(shard_id)
+            obs.count("store.cache_hits")
             return self._cache[shard_id]
+        obs.count("store.cache_misses")
         self._check_not_stale()
         while len(self._cache) >= self.cache_shards:
             self._cache.popitem(last=False)
@@ -159,11 +162,14 @@ class ReplayStream:
         # processing order never changes the result.
         needed = np.unique(shard_of)
         ordered = sorted(needed, key=lambda s: (int(s) not in self._cache, s))
-        for shard_id in ordered:
-            raster = self._decoded(int(shard_id))
-            mask = shard_of == shard_id
-            cols = indices[mask] - self._bounds[shard_id]
-            out[:, mask, :] = raster[:, cols, :]
+        with obs.span(
+            "store.gather", category="store", samples=int(indices.size), shards=len(ordered)
+        ):
+            for shard_id in ordered:
+                raster = self._decoded(int(shard_id))
+                mask = shard_of == shard_id
+                cols = indices[mask] - self._bounds[shard_id]
+                out[:, mask, :] = raster[:, cols, :]
         return out
 
     def __iter__(self):

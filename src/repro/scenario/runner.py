@@ -28,6 +28,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.config import ExperimentConfig
 from repro.core.pipeline import PretrainResult, pretrain
 from repro.core.registry import get_method
@@ -85,6 +86,9 @@ class ScenarioResult:
             was then measured with the readout masked to
             ``task_classes[j]``); None for task-agnostic scenarios,
             whose matrix is measured unmasked.
+        trace: Spans + metrics the run recorded (see :mod:`repro.obs`);
+            None unless tracing was enabled (``REPRO_TRACE`` or
+            :func:`repro.obs.use_recorder`).
     """
 
     scenario: str
@@ -95,6 +99,7 @@ class ScenarioResult:
     pretrain_accuracy: float
     store_root: str | None = None
     task_classes: tuple[tuple[int, ...], ...] | None = None
+    trace: obs.TraceReport | None = None
 
     @property
     def task_incremental(self) -> bool:
@@ -303,72 +308,88 @@ def run_scenario(
     num_classes = experiment.network.layer_sizes[-1]
     first_masks = _step_masks(first, 2, num_classes, task_aware)
 
-    # ---- session 0: pre-train on the first step's base data ----------
-    if pretrained is None:
-        pretrained = pretrain(experiment, first.split)
-    if isinstance(pretrained, PretrainResult):
-        network = pretrained.network
-    else:
-        network = pretrained
-    # R[0, 0] under the same deployment semantics as every later row:
-    # the pretrain-time test accuracy (full pretrain timesteps, static
-    # threshold) would fold the systematic timestep-reduction gap into
-    # the base task's forgetting/BWT.
-    probe = method_factory(experiment)
-    pretrain_mask = first_masks[0]
-    pretrain_accuracy = _task_accuracy(
-        network,
-        first.split.pretrain_test,
-        probe.ncl_timesteps(),
-        probe,
-        mask=pretrain_mask,
-    )
+    recorder = obs.current()
+    trace_mark = recorder.mark()
+    with obs.span("scenario.run", category="scenario", scenario=scenario.name):
+        # ---- session 0: pre-train on the first step's base data ------
+        with obs.span("scenario.pretrain", category="scenario"):
+            if pretrained is None:
+                pretrained = pretrain(experiment, first.split)
+            if isinstance(pretrained, PretrainResult):
+                network = pretrained.network
+            else:
+                network = pretrained
+            # R[0, 0] under the same deployment semantics as every later
+            # row: the pretrain-time test accuracy (full pretrain
+            # timesteps, static threshold) would fold the systematic
+            # timestep-reduction gap into the base task's
+            # forgetting/BWT.
+            probe = method_factory(experiment)
+            pretrain_mask = first_masks[0]
+            pretrain_accuracy = _task_accuracy(
+                network,
+                first.split.pretrain_test,
+                probe.ncl_timesteps(),
+                probe,
+                mask=pretrain_mask,
+            )
 
-    # Same promotion + type validation as every other entry point (a
-    # bare path becomes a spec; anything else non-spec is a ConfigError).
-    replay = resolve_replay_spec(replay, {}, caller="run_scenario")
-    federation = create_federation(replay)
+        # Same promotion + type validation as every other entry point (a
+        # bare path becomes a spec; anything else non-spec errors).
+        replay = resolve_replay_spec(replay, {}, caller="run_scenario")
+        federation = create_federation(replay)
 
-    # ---- sessions 1..S: one NCL run per step, then evaluate all tasks
-    task_tests: list[SpikeDataset] = [first.split.pretrain_test]
-    results: list[NCLResult] = []
-    step_names: list[str] = []
-    rows: list[list[float]] = []
+        # ---- sessions 1..S: one NCL run per step, then evaluate all
+        # tasks seen so far
+        task_tests: list[SpikeDataset] = [first.split.pretrain_test]
+        results: list[NCLResult] = []
+        step_names: list[str] = []
+        rows: list[list[float]] = []
 
-    final_task_classes: tuple[tuple[int, ...], ...] | None = None
-    step = first
-    while step is not None:
-        ncl_method = method_factory(experiment)
-        result = run_chained_step(
-            ncl_method,
-            network,
-            step.split,
-            index=step.index,
-            replay=replay,
-            federation=federation,
-        )
-        network = result.network
-        results.append(result)
-        step_names.append(step.name)
+        final_task_classes: tuple[tuple[int, ...], ...] | None = None
+        step = first
+        while step is not None:
+            with obs.span(
+                "scenario.step", category="scenario", index=step.index, step=step.name
+            ):
+                ncl_method = method_factory(experiment)
+                result = run_chained_step(
+                    ncl_method,
+                    network,
+                    step.split,
+                    index=step.index,
+                    replay=replay,
+                    federation=federation,
+                )
+                network = result.network
+                results.append(result)
+                step_names.append(step.name)
 
-        task_tests.append(step.split.new_test)
-        masks = _step_masks(step, len(task_tests), num_classes, task_aware)
-        final_task_classes = step.task_classes
-        timesteps = ncl_method.ncl_timesteps()
-        rows.append(
-            [
-                _task_accuracy(network, dataset, timesteps, ncl_method, mask=mask)
-                for dataset, mask in zip(task_tests, masks)
-            ]
-        )
-        step = next(step_iter, None)
+                task_tests.append(step.split.new_test)
+                masks = _step_masks(step, len(task_tests), num_classes, task_aware)
+                final_task_classes = step.task_classes
+                timesteps = ncl_method.ncl_timesteps()
+                with obs.span(
+                    "scenario.eval", category="scenario", tasks=len(task_tests)
+                ):
+                    rows.append(
+                        [
+                            _task_accuracy(
+                                network, dataset, timesteps, ncl_method, mask=mask
+                            )
+                            for dataset, mask in zip(task_tests, masks)
+                        ]
+                    )
+            step = next(step_iter, None)
 
-    sessions = len(results) + 1
-    matrix = np.full((sessions, sessions), np.nan)
-    matrix[0, 0] = pretrain_accuracy
-    for i, row in enumerate(rows, start=1):
-        matrix[i, : len(row)] = row
+        sessions = len(results) + 1
+        matrix = np.full((sessions, sessions), np.nan)
+        matrix[0, 0] = pretrain_accuracy
+        for i, row in enumerate(rows, start=1):
+            matrix[i, : len(row)] = row
 
+    trace = obs.TraceReport.capture(recorder, trace_mark)
+    obs.maybe_export()
     return ScenarioResult(
         scenario=scenario.name,
         method=method_label if method_label is not None else probe.name,
@@ -378,4 +399,5 @@ def run_scenario(
         pretrain_accuracy=pretrain_accuracy,
         store_root=str(replay.store_dir) if federation is not None else None,
         task_classes=final_task_classes,
+        trace=trace,
     )

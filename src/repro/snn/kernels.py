@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.autograd import Tensor
 from repro.autograd.function import Function
 from repro.config import env_switch
@@ -152,7 +153,9 @@ class _LIFSequence(Function):
         """Run the T-step membrane/spike sweep on the active backend."""
         executor = backends.active()
         spec = _lif_spec(params, vthr, alpha=None)
-        membrane, spikes = executor.lif_forward(x @ w_ff, w_rec, spec)
+        obs.count("kernel.calls", backend=executor.name, kernel="lif_forward")
+        with obs.span("kernel.lif_forward", category="kernel", backend=executor.name):
+            membrane, spikes = executor.lif_forward(x @ w_ff, w_rec, spec)
         ctx.save_for_backward(x, w_ff, w_rec, membrane, spikes)
         ctx.params = params
         ctx.spec = spec
@@ -166,9 +169,11 @@ class _LIFSequence(Function):
         """Hand-derived BPTT, bitwise-identical to the per-step tape."""
         x, w_ff, w_rec, membrane, spikes = ctx.saved
         surrogate = ctx.params.surrogate.derivative(membrane - ctx.spec.vthr)
-        g_current = ctx.executor.lif_backward(
-            g_spikes, surrogate, membrane, spikes, w_rec, ctx.spec
-        )
+        obs.count("kernel.calls", backend=ctx.executor.name, kernel="lif_backward")
+        with obs.span("kernel.lif_backward", category="kernel", backend=ctx.executor.name):
+            g_current = ctx.executor.lif_backward(
+                g_spikes, surrogate, membrane, spikes, w_rec, ctx.spec
+            )
         return _sequence_weight_grads(ctx, x, w_ff, w_rec, spikes, g_current) + (
             None,
             None,
@@ -183,7 +188,9 @@ class _CubaLIFSequence(Function):
         """Run the CuBa sweep (synaptic filter + membrane) on the backend."""
         executor = backends.active()
         spec = _lif_spec(params, vthr, alpha=alpha)
-        membrane, spikes = executor.lif_forward(x @ w_ff, w_rec, spec)
+        obs.count("kernel.calls", backend=executor.name, kernel="cuba_lif_forward")
+        with obs.span("kernel.cuba_lif_forward", category="kernel", backend=executor.name):
+            membrane, spikes = executor.lif_forward(x @ w_ff, w_rec, spec)
         ctx.save_for_backward(x, w_ff, w_rec, membrane, spikes)
         ctx.params = params
         ctx.spec = spec
@@ -195,9 +202,13 @@ class _CubaLIFSequence(Function):
         """BPTT through the CuBa recurrences, bitwise vs the per-step tape."""
         x, w_ff, w_rec, membrane, spikes = ctx.saved
         surrogate = ctx.params.surrogate.derivative(membrane - ctx.spec.vthr)
-        g_current = ctx.executor.lif_backward(
-            g_spikes, surrogate, membrane, spikes, w_rec, ctx.spec
-        )
+        obs.count("kernel.calls", backend=ctx.executor.name, kernel="cuba_lif_backward")
+        with obs.span(
+            "kernel.cuba_lif_backward", category="kernel", backend=ctx.executor.name
+        ):
+            g_current = ctx.executor.lif_backward(
+                g_spikes, surrogate, membrane, spikes, w_rec, ctx.spec
+            )
         return _sequence_weight_grads(ctx, x, w_ff, w_rec, spikes, g_current) + (
             None,
             None,
@@ -212,7 +223,9 @@ class _LeakyReadoutSequence(Function):
     def forward(ctx, x, w_ff, beta):
         """Run the leaky-integrator sweep on the active backend."""
         executor = backends.active()
-        trajectory = executor.readout_forward(x @ w_ff, beta)
+        obs.count("kernel.calls", backend=executor.name, kernel="readout_forward")
+        with obs.span("kernel.readout_forward", category="kernel", backend=executor.name):
+            trajectory = executor.readout_forward(x @ w_ff, beta)
         ctx.save_for_backward(x, w_ff)
         ctx.beta = beta
         ctx.executor = executor
@@ -223,7 +236,11 @@ class _LeakyReadoutSequence(Function):
         """Reverse-accumulate the decay chain, then the weight GEMMs."""
         x, w_ff = ctx.saved
         timesteps = g_trajectory.shape[0]
-        g_membrane = ctx.executor.readout_backward(g_trajectory, ctx.beta)
+        obs.count("kernel.calls", backend=ctx.executor.name, kernel="readout_backward")
+        with obs.span(
+            "kernel.readout_backward", category="kernel", backend=ctx.executor.name
+        ):
+            g_membrane = ctx.executor.readout_backward(g_trajectory, ctx.beta)
         gx = g_membrane @ w_ff.T if ctx.needs_input_grad[0] else None
         gw_ff = None
         if ctx.needs_input_grad[1]:

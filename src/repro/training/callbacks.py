@@ -7,6 +7,7 @@ plain callables over :class:`~repro.training.metrics.EpochRecord`;
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable
 
 from repro.errors import ConfigError
@@ -14,6 +15,25 @@ from repro.snn.network import SpikingNetwork
 from repro.training.metrics import EpochRecord
 
 __all__ = ["EarlyStopping", "BestCheckpoint", "CallbackList"]
+
+
+def _check_metric_name(metric: str) -> str:
+    """Validate that ``metric`` names an :class:`EpochRecord` field.
+
+    A typo'd metric would otherwise make the callback silently observe
+    nothing for the whole run (``getattr(record, metric, None)`` is
+    ``None`` forever), so the name is checked at construction time.
+
+    Raises:
+        ConfigError: If ``metric`` is not an ``EpochRecord`` field.
+    """
+    fields = tuple(f.name for f in dataclasses.fields(EpochRecord))
+    if metric not in fields:
+        raise ConfigError(
+            f"metric must be an EpochRecord field ({', '.join(fields)}); "
+            f"got {metric!r}"
+        )
+    return metric
 
 
 class EarlyStopping:
@@ -38,7 +58,7 @@ class EarlyStopping:
             raise ConfigError(f"mode must be 'min' or 'max', got {mode!r}")
         if min_delta < 0:
             raise ConfigError(f"min_delta must be >= 0, got {min_delta}")
-        self.metric = metric
+        self.metric = _check_metric_name(metric)
         self.patience = int(patience)
         self.min_delta = float(min_delta)
         self.mode = mode
@@ -81,7 +101,7 @@ class BestCheckpoint:
         if mode not in ("min", "max"):
             raise ConfigError(f"mode must be 'min' or 'max', got {mode!r}")
         self.network = network
-        self.metric = metric
+        self.metric = _check_metric_name(metric)
         self.mode = mode
         self.best: float | None = None
         self.best_epoch: int | None = None

@@ -72,6 +72,7 @@ class TrainingHistory:
     records: list[EpochRecord] = field(default_factory=list)
 
     def append(self, record: EpochRecord) -> None:
+        """Add one epoch's record to the history."""
         self.records.append(record)
 
     def __len__(self) -> int:
@@ -82,22 +83,31 @@ class TrainingHistory:
 
     @property
     def losses(self) -> list[float]:
+        """Mean minibatch loss of every epoch, in order."""
         return [r.loss for r in self.records]
 
     @property
     def old_task_curve(self) -> list[float]:
+        """Old-task accuracy per epoch (epochs that measured it)."""
         return [r.old_task_accuracy for r in self.records if r.old_task_accuracy is not None]
 
     @property
     def new_task_curve(self) -> list[float]:
+        """New-task accuracy per epoch (epochs that measured it)."""
         return [r.new_task_accuracy for r in self.records if r.new_task_accuracy is not None]
 
     def final(self) -> EpochRecord:
+        """The last epoch's record.
+
+        Raises:
+            IndexError: If the history is empty.
+        """
         if not self.records:
             raise IndexError("history is empty")
         return self.records[-1]
 
     def best_old_task_accuracy(self) -> float:
+        """Highest old-task accuracy seen (0.0 when never measured)."""
         curve = self.old_task_curve
         return max(curve) if curve else 0.0
 

@@ -30,10 +30,12 @@ class Optimizer:
         self.learning_rate = float(learning_rate)
 
     def zero_grad(self) -> None:
+        """Clear every parameter's accumulated gradient."""
         for p in self.parameters:
             p.grad = None
 
     def step(self) -> None:
+        """Apply one update from the current gradients (subclasses)."""
         raise NotImplementedError
 
     def set_learning_rate(self, learning_rate: float) -> None:
@@ -59,6 +61,7 @@ class SGD(Optimizer):
         self._velocity: dict[int, np.ndarray] = {}
 
     def step(self) -> None:
+        """One (momentum-)SGD update over parameters with gradients."""
         for p in self.parameters:
             if p.grad is None:
                 continue
@@ -95,6 +98,11 @@ class Adam(Optimizer):
         self._t: dict[int, int] = {}
 
     def step(self) -> None:
+        """One bias-corrected Adam update over parameters with gradients.
+
+        Raises:
+            TrainingError: If any gradient is non-finite.
+        """
         for p in self.parameters:
             if p.grad is None:
                 continue

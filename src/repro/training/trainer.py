@@ -17,6 +17,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.data.loaders import DataLoader
 from repro.errors import ConfigError, TrainingError
 from repro.snn.network import SpikingNetwork
@@ -33,17 +34,13 @@ __all__ = ["Trainer", "TrainerConfig"]
 class TrainerConfig:
     """Loop hyper-parameters.
 
-    Attributes
-    ----------
-    epochs / batch_size:
-        Loop extent.
-    start_layer:
-        First weight layer executed; >0 trains a split network on
-        pre-computed activations (the NCL phase).
-    grad_clip:
-        Optional global-norm gradient clip; None disables.
-    shuffle:
-        Reshuffle minibatches each epoch.
+    Attributes:
+        epochs: Number of passes over the data.
+        batch_size: Minibatch size.
+        start_layer: First weight layer executed; >0 trains a split
+            network on pre-computed activations (the NCL phase).
+        grad_clip: Optional global-norm gradient clip; None disables.
+        shuffle: Reshuffle minibatches each epoch.
     """
 
     epochs: int
@@ -159,14 +156,17 @@ class Trainer:
 
         history = TrainingHistory()
         for epoch in range(self.config.epochs):
-            loss = self.train_epoch(inputs, labels)
-            record = EpochRecord(
-                epoch=epoch,
-                loss=loss,
-                learning_rate=self.optimizer.learning_rate,
-                threshold=self._controller_value(),
-                **{name: fn() for name, fn in evaluators.items()},
-            )
+            with obs.span("train.epoch", category="train", epoch=epoch) as span:
+                loss = self.train_epoch(inputs, labels)
+                with obs.span("train.eval", category="train", epoch=epoch):
+                    record = EpochRecord(
+                        epoch=epoch,
+                        loss=loss,
+                        learning_rate=self.optimizer.learning_rate,
+                        threshold=self._controller_value(),
+                        **{name: fn() for name, fn in evaluators.items()},
+                    )
+                span.set(loss=loss)
             history.append(record)
             if epoch_callback is not None:
                 epoch_callback(record)

@@ -144,6 +144,66 @@ class TestScenarioCommands:
         assert "require --store-dir" in capsys.readouterr().err
 
 
+class TestTraceCommands:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        from repro.obs import ManualClock, Recorder, write_jsonl
+
+        clock = ManualClock()
+        recorder = Recorder(clock=clock)
+        with recorder.span("scenario.run", category="scenario"):
+            clock.advance(0.5)
+            with recorder.span("train.epoch", category="train", epoch=0):
+                clock.advance(0.25)
+        recorder.count("kernel.calls", backend="numpy", kernel="lif_forward")
+        return str(
+            write_jsonl(tmp_path / "trace.jsonl", recorder.spans(), recorder.metrics())
+        )
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_summary(self, capsys, trace_file):
+        assert main(["trace", "summary", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 spans, 1 metric series" in out
+        assert "scenario.run" in out and "train.epoch" in out
+        assert "kernel.calls{backend=numpy,kernel=lif_forward}" in out
+
+    def test_summary_top_limits_rows(self, capsys, trace_file):
+        assert main(["trace", "summary", trace_file, "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario.run" in out  # the longer span wins the one slot
+        assert "train.epoch" not in out.split("metric")[0]
+
+    def test_summary_tree(self, capsys, trace_file):
+        assert main(["trace", "summary", trace_file, "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "  train.epoch" in out  # indented under scenario.run
+
+    def test_export_default_output(self, capsys, trace_file, tmp_path):
+        import json
+
+        assert main(["trace", "export", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 2 spans" in out
+        converted = tmp_path / "trace.chrome.json"
+        assert converted.exists()
+        payload = json.loads(converted.read_text())
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert names == {"scenario.run", "train.epoch"}
+
+    def test_export_explicit_output(self, capsys, trace_file, tmp_path):
+        target = tmp_path / "custom.json"
+        assert main(["trace", "export", trace_file, "-o", str(target)]) == 0
+        assert target.exists()
+
+    def test_missing_trace_is_clean_error(self, capsys, tmp_path):
+        assert main(["trace", "summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 @pytest.fixture
 def store_dir(tmp_path):
     from repro.replaystore import ReplayStore

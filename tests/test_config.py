@@ -13,6 +13,7 @@ from repro.config import (
     backend_selection,
     env_flag,
     env_switch,
+    trace_selection,
 )
 from repro.errors import ConfigError
 
@@ -134,6 +135,7 @@ class TestEnvFlags:
             "REPRO_PREFETCH",
             "REPRO_BENCH_SCALE",
             "REPRO_CACHE",
+            "REPRO_TRACE",
         ]
         assert len(set(names)) == len(names)
 
@@ -167,6 +169,24 @@ class TestEnvFlags:
         monkeypatch.setenv("REPRO_BACKEND", "cuda")
         with pytest.raises(ConfigError, match="REPRO_BACKEND"):
             backend_selection()
+
+    def test_trace_selection_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert trace_selection() == (False, None)
+
+    @pytest.mark.parametrize("raw", ["0", "false", "OFF", ""])
+    def test_trace_selection_off_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TRACE", raw)
+        assert trace_selection() == (False, None)
+
+    @pytest.mark.parametrize("raw", ["1", "true", "ON"])
+    def test_trace_selection_on_without_path(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TRACE", raw)
+        assert trace_selection() == (True, None)
+
+    def test_trace_selection_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "  /tmp/run/trace.jsonl  ")
+        assert trace_selection() == (True, "/tmp/run/trace.jsonl")
 
     def test_backend_choices_match_registry_names(self):
         from repro.snn import backends

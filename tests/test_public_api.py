@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.scenario",
     "repro.hw",
     "repro.eval",
+    "repro.obs",
 ]
 
 

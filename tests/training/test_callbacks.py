@@ -56,6 +56,18 @@ class TestEarlyStopping:
         with pytest.raises(ConfigError):
             EarlyStopping(min_delta=-1.0)
 
+    def test_unknown_metric_rejected_at_construction(self):
+        # A typo'd metric used to silently observe nothing forever.
+        with pytest.raises(ConfigError, match="EpochRecord field"):
+            EarlyStopping(metric="los")
+
+    @pytest.mark.parametrize(
+        "metric",
+        ["loss", "old_task_accuracy", "new_task_accuracy", "overall_accuracy"],
+    )
+    def test_every_record_field_accepted(self, metric):
+        assert EarlyStopping(metric=metric).metric == metric
+
 
 class TestBestCheckpoint:
     @pytest.fixture
@@ -89,6 +101,8 @@ class TestBestCheckpoint:
     def test_validation(self, network):
         with pytest.raises(ConfigError):
             BestCheckpoint(network, mode="sideways")
+        with pytest.raises(ConfigError, match="EpochRecord field"):
+            BestCheckpoint(network, metric="accuracy")
 
 
 class TestCallbackList:
