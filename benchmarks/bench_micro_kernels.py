@@ -244,6 +244,56 @@ def test_store_shard_roundtrip(benchmark, rng):
     benchmark(lambda: decode_shard(encode_shard(raster, labels)))
 
 
+def test_checkpoint_roundtrip(benchmark, network, tmp_path):
+    """Scenario checkpoint commit + verified restore (the crash-safe
+    resume path's per-step-boundary cost: network archive write, sha256,
+    atomic manifest rename, then a full integrity-checked load)."""
+    from repro.core.strategies import EpochCost, NCLResult
+    from repro.scenario.checkpoint import ScenarioCheckpoint, run_fingerprint
+    from repro.training.metrics import EpochRecord, TrainingHistory
+
+    results = [
+        NCLResult(
+            method="replay4ncl",
+            insertion_layer=2,
+            timesteps=16,
+            history=TrainingHistory(
+                records=[EpochRecord(epoch=e, loss=1.0 / (e + 1)) for e in range(4)]
+            ),
+            final_old_accuracy=0.5,
+            final_new_accuracy=0.5,
+            final_overall_accuracy=0.5,
+            latent_storage_bytes=1024,
+            latent_stored_frames=16,
+            epoch_costs=[],
+            prepare_cost=EpochCost(),
+            network=network,
+        )
+        for _ in range(2)
+    ]
+    checkpoint = ScenarioCheckpoint(tmp_path / "ckpt")
+    fingerprint = run_fingerprint(
+        scenario="bench", method="replay4ncl", experiment="bench", replay=None
+    )
+
+    def roundtrip():
+        checkpoint.save(
+            fingerprint=fingerprint,
+            scenario="bench",
+            method="replay4ncl",
+            steps_completed=len(results),
+            pretrain_accuracy=0.9,
+            step_names=[f"step-{k}" for k in range(len(results))],
+            rows=[[0.5] * (k + 2) for k in range(len(results))],
+            results=results,
+            network=network,
+        )
+        return checkpoint.load(fingerprint=fingerprint)
+
+    state = benchmark(roundtrip)
+    assert state.steps_completed == len(results)
+
+
 def test_federation_roundtrip(benchmark, rng, tmp_path):
     """Federated replay epoch: shuffled minibatch gathers routed across
     member stores with cold per-round caches — the long-task-sequence

@@ -1,0 +1,26 @@
+"""Runnable docs example: composing continual-learning regimes lazily."""
+
+import itertools
+
+from repro.data.synthetic_shd import SyntheticSHD
+from repro.eval.scale import get_scale
+from repro.scenario import get, with_blur, with_label_noise, with_task_masks
+
+preset = get_scale("ci")
+experiment = preset.experiment.replace(
+    samples_per_class=4, test_samples_per_class=2
+)
+generator = SyntheticSHD(preset.shd, seed=experiment.seed)
+
+# A blurry, noisily-labelled class stream, evaluated task-incrementally.
+# Combinators nest inside-out; each is a lazy wrapper over any base.
+scenario = with_task_masks(with_label_noise(with_blur(get("sequential"))))
+print(scenario.name)  # sequential+blur+label-noise+task-masks
+
+# Nothing materialises until the step iterator advances — long streams
+# never hold all their data at once.
+for step in itertools.islice(scenario.steps(generator, experiment), 2):
+    print(
+        f"{step.name}: {len(step.split.new_train.labels)} training samples, "
+        f"{len(step.task_classes)} task groups"
+    )

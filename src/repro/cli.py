@@ -83,6 +83,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget-bytes", type=int, default=None,
         help="global federation byte budget across all steps' stores",
     )
+    scenario_run.add_argument(
+        "--with", dest="combinators", action="append", default=None,
+        metavar="COMBINATOR",
+        help="wrap the scenario in a combinator (drift | blur | "
+        "task-masks | class-repetition | label-noise); repeatable, "
+        "applied inside-out in the order given",
+    )
+    scenario_run.add_argument(
+        "--checkpoint-dir", default=None,
+        help="persist a resumable checkpoint here after every step",
+    )
+    scenario_run.add_argument(
+        "--resume", action="store_true",
+        help="continue from the checkpoint at --checkpoint-dir "
+        "(bitwise-identical to an uninterrupted run)",
+    )
+    scenario_run.add_argument(
+        "--stop-after", type=int, default=None, metavar="K",
+        help="stop after K steps (simulates an interrupted stream; "
+        "pair with --checkpoint-dir, then --resume to finish)",
+    )
 
     trace = sub.add_parser(
         "trace", help="summarize or convert recorded trace files (REPRO_TRACE)"
@@ -213,6 +234,37 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             )
             return 2
 
+    if args.combinators:
+        from repro import scenario as scenario_pkg
+        from repro.scenario import get as get_scenario
+
+        wrappers = {
+            "drift": scenario_pkg.with_drift,
+            "blur": scenario_pkg.with_blur,
+            "task-masks": scenario_pkg.with_task_masks,
+            "class-repetition": scenario_pkg.with_class_repetition,
+            "label-noise": scenario_pkg.with_label_noise,
+        }
+        unknown = [name for name in args.combinators if name not in wrappers]
+        if unknown:
+            print(
+                f"error: unknown combinator(s) {unknown}; "
+                f"available: {sorted(wrappers)}",
+                file=sys.stderr,
+            )
+            return 2
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        for name in args.combinators:
+            scenario = wrappers[name](scenario)
+
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.stop_after is not None and args.stop_after <= 0:
+        print("error: --stop-after must be positive", file=sys.stderr)
+        return 2
+
     replay = None
     if args.store_dir is not None:
         from repro.core import ReplaySpec
@@ -233,10 +285,21 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    extra = {}
+    if args.checkpoint_dir is not None:
+        extra["checkpoint"] = args.checkpoint_dir
+        extra["resume"] = args.resume
+    if args.stop_after is not None:
+        extra["max_steps"] = args.stop_after
     result = run_scenario(
-        scenario, args.method, scale=args.scale, replay=replay
+        scenario, args.method, scale=args.scale, replay=replay, **extra
     )
     print(result.describe())
+    if args.stop_after is not None and args.checkpoint_dir is not None:
+        print(
+            f"(stopped after {len(result.steps)} step(s); resume with "
+            f"--checkpoint-dir {args.checkpoint_dir} --resume)"
+        )
     return 0
 
 

@@ -314,10 +314,12 @@ class LatentReplayBuffer:
     # ------------------------------------------------------------------
     @property
     def num_samples(self) -> int:
+        """Stored replay samples."""
         return int(self.compressed.shape[1])
 
     @property
     def num_channels(self) -> int:
+        """Input channels per stored frame."""
         return int(self.compressed.shape[2])
 
     @property
@@ -369,8 +371,11 @@ class LatentReplayBuffer:
 
     @classmethod
     def from_store(cls, root) -> "LatentReplayBuffer":
-        """Rebuild the dense buffer from a store (exact inverse of
-        :meth:`to_store` — shard codecs are lossless)."""
+        """Rebuild the dense buffer from a store.
+
+        The exact inverse of :meth:`to_store` — shard codecs are
+        lossless.
+        """
         from repro.replaystore.store import ReplayStore
 
         store = root if isinstance(root, ReplayStore) else ReplayStore.open(root)

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import ExperimentConfig
-from repro.core.replayspec import UNSET, ReplaySpec, resolve_replay_spec
+from repro.core.replayspec import ReplaySpec, resolve_replay_spec
 from repro.core.strategies import NCLMethod, NCLResult
 from repro.data.tasks import ClassIncrementalSplit
 from repro.seeding import spawn
@@ -68,32 +68,15 @@ def run_method(
     pretrained: PretrainResult | SpikingNetwork,
     split: ClassIncrementalSplit,
     replay: ReplaySpec | None = None,
-    *,
-    replay_store_dir=UNSET,
-    store_shard_samples=UNSET,
-    store_overwrite=UNSET,
-    prefetch=UNSET,
 ) -> NCLResult:
     """Run one NCL method from a shared pre-trained model.
 
     ``replay`` is a :class:`~repro.core.replayspec.ReplaySpec` (or a
     bare store path): with ``store_dir`` set it routes replay through an
     on-disk :class:`~repro.replaystore.store.ReplayStore` instead of the
-    dense in-memory buffer (see :meth:`NCLMethod.run`).  The
-    ``replay_store_dir`` / ``store_shard_samples`` / ``store_overwrite``
-    / ``prefetch`` kwargs are deprecated shims that warn and translate
-    to the equivalent spec.
+    dense in-memory buffer (see :meth:`NCLMethod.run`).
     """
-    replay = resolve_replay_spec(
-        replay,
-        {
-            "replay_store_dir": replay_store_dir,
-            "store_shard_samples": store_shard_samples,
-            "store_overwrite": store_overwrite,
-            "prefetch": prefetch,
-        },
-        caller="run_method",
-    )
+    replay = resolve_replay_spec(replay)
     network = (
         pretrained.network if isinstance(pretrained, PretrainResult) else pretrained
     )

@@ -28,12 +28,15 @@ class RawInputReplay(NCLMethod):
         self._timesteps = timesteps or config.pretrain.timesteps
 
     def insertion_layer(self) -> int:
-        return 0  # replay raw inputs; nothing frozen
+        """Replay raw inputs: Lins = 0, nothing frozen."""
+        return 0
 
     def ncl_timesteps(self) -> int:
+        """Full pre-training resolution (no temporal reduction)."""
         return self._timesteps
 
     def learning_rate(self) -> float:
+        """The pre-training rate, continued."""
         # Classic rehearsal simply continues training at the pre-training
         # rate (the mixed batch provides the stability, not the rate).
         # NCLConfig.base_learning_rate is calibrated for split-network
@@ -41,7 +44,9 @@ class RawInputReplay(NCLMethod):
         return self.config.pretrain.learning_rate
 
     def compression_factor(self) -> int:
-        return 1  # raw binary rasters, stored bit-packed
+        """No compression: raw binary rasters, stored bit-packed."""
+        return 1
 
     def decompress_for_replay(self) -> bool:
+        """Raw rasters train as stored; nothing to decompress."""
         return False

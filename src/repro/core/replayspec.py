@@ -2,10 +2,9 @@
 
 Before this module existed, replay persistence was configured through a
 sprawl of keyword arguments copy-pasted across :meth:`NCLMethod.run`,
-:func:`run_method`, and :func:`run_sequential` (``replay_store_dir`` /
-``store_root``, ``store_shard_samples``, ``store_overwrite``,
-``prefetch``, ``federation_*``).  Every new entry point had to forward
-all seven, and every new knob meant touching three signatures.
+:func:`run_method`, and :func:`run_sequential`.  Every new entry point
+had to forward all seven knobs, and every new knob meant touching three
+signatures.
 
 :class:`ReplaySpec` consolidates them: one frozen, validated dataclass
 passed as ``replay=`` to every run entry point.  ``ReplaySpec()`` (all
@@ -16,33 +15,19 @@ multi-step runs (:func:`~repro.core.sequential.run_sequential`,
 :func:`~repro.scenario.run_scenario`), where ``store_dir`` names the
 federation root and each step persists into a member store beneath it.
 
-The legacy kwargs survive as deprecation shims: passing any of them
-emits a :class:`DeprecationWarning` and translates to the equivalent
-spec via :func:`resolve_replay_spec`, with bitwise-identical behavior.
+The legacy kwargs shipped one deprecation cycle as warning shims and
+are gone: every entry point takes ``replay=`` only, normalized through
+:func:`resolve_replay_spec`.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping
 
 from repro.errors import ConfigError
 
-__all__ = ["ReplaySpec", "UNSET", "resolve_replay_spec"]
-
-
-class _Unset:
-    """Sentinel distinguishing 'kwarg not passed' from any real value."""
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return "<UNSET>"
-
-
-#: Default of every deprecated replay kwarg; lets the shims detect
-#: explicit use (even ``prefetch=None``, whose real default is ``None``).
-UNSET = _Unset()
+__all__ = ["ReplaySpec", "resolve_replay_spec"]
 
 
 @dataclass(frozen=True)
@@ -165,6 +150,7 @@ class ReplaySpec:
         )
 
     def describe(self) -> str:
+        """One-line human-readable summary of the spec."""
         if not self.store_backed:
             return "dense in-memory replay"
         parts = [f"store-backed replay at {self.store_dir}"]
@@ -175,33 +161,14 @@ class ReplaySpec:
         return ", ".join(parts)
 
 
-#: Legacy kwarg -> ReplaySpec field (both multi-step and single-run
-#: spellings of the store path map to ``store_dir``).
-_LEGACY_FIELDS = {
-    "replay_store_dir": "store_dir",
-    "store_root": "store_dir",
-    "store_shard_samples": "shard_samples",
-    "store_overwrite": "overwrite",
-    "prefetch": "prefetch",
-    "federation_budget_bytes": "federation_budget_bytes",
-    "federation_policy": "federation_policy",
-    "federation_seed": "federation_seed",
-}
-
-
 def resolve_replay_spec(
     replay: "ReplaySpec | str | Path | None",
-    legacy: Mapping[str, Any],
-    caller: str,
 ) -> ReplaySpec | None:
-    """Merge the ``replay=`` argument with deprecated legacy kwargs.
+    """Normalize the ``replay=`` argument of a run entry point.
 
-    ``legacy`` maps legacy kwarg names to their received values; entries
-    equal to :data:`UNSET` were not passed.  Any explicitly passed legacy
-    kwarg emits one :class:`DeprecationWarning` naming the caller and is
-    translated to the equivalent :class:`ReplaySpec` — mixing both styles
-    in one call is a :class:`ConfigError`.  As a convenience, a bare
-    path for ``replay`` is promoted to ``ReplaySpec(store_dir=path)``.
+    A bare path is promoted to ``ReplaySpec(store_dir=path)``; a spec
+    passes through; anything else non-``None`` is a
+    :class:`ConfigError`.
     """
     if isinstance(replay, (str, Path)):
         replay = ReplaySpec(store_dir=replay)
@@ -209,27 +176,4 @@ def resolve_replay_spec(
         raise ConfigError(
             f"replay must be a ReplaySpec or a store path, got {type(replay).__name__}"
         )
-    passed = {name: value for name, value in legacy.items() if value is not UNSET}
-    if not passed:
-        return replay
-    if replay is not None:
-        raise ConfigError(
-            f"{caller}: pass either replay=ReplaySpec(...) or the legacy "
-            f"kwargs {sorted(passed)}, not both"
-        )
-    warnings.warn(
-        f"{caller}: the kwargs {sorted(passed)} are deprecated; pass "
-        "replay=ReplaySpec(...) instead (see repro.core.replayspec)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    unknown = sorted(set(passed) - set(_LEGACY_FIELDS))
-    if unknown:
-        raise ConfigError(f"{caller}: unknown replay kwargs {unknown}")
-    fields = {_LEGACY_FIELDS[name]: value for name, value in passed.items()}
-    if fields.get("store_dir") is None:
-        # Historic behavior: without a store path the store/prefetch
-        # knobs were forwarded but ignored — the run stayed dense.  The
-        # shim preserves that exactly rather than erroring.
-        return None
-    return ReplaySpec(**fields)
+    return replay

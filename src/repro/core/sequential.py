@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core.replayspec import UNSET, ReplaySpec, resolve_replay_spec
+from repro.core.replayspec import ReplaySpec, resolve_replay_spec
 from repro.core.strategies import NCLMethod, NCLResult
 from repro.data.synthetic_shd import SyntheticSHD
 from repro.data.tasks import ClassIncrementalSplit
@@ -105,6 +105,7 @@ class SequentialResult:
 
     @property
     def final_network(self) -> SpikingNetwork:
+        """Network state after the last step (raises when not retained)."""
         network = self.steps[-1].network
         if network is None:
             raise DataError("final step carries no network")
@@ -117,9 +118,11 @@ class SequentialResult:
 
     @property
     def new_accuracy_trajectory(self) -> tuple[float, ...]:
+        """New-task accuracy after each step (plasticity trajectory)."""
         return tuple(step.final_new_accuracy for step in self.steps)
 
     def describe(self) -> str:
+        """Multi-line human-readable summary of the run."""
         lines = [f"sequential scenario: {len(self.steps)} steps"]
         for i, step in enumerate(self.steps):
             lines.append(
@@ -216,13 +219,6 @@ def run_sequential(
     splits: list[ClassIncrementalSplit],
     *,
     replay: ReplaySpec | None = None,
-    store_root=UNSET,
-    store_shard_samples=UNSET,
-    store_overwrite=UNSET,
-    prefetch=UNSET,
-    federation_budget_bytes=UNSET,
-    federation_policy=UNSET,
-    federation_seed=UNSET,
 ) -> SequentialResult:
     """Chain NCL steps: each starts from the previous step's network.
 
@@ -250,27 +246,10 @@ def run_sequential(
     stores.  The just-trained step is rebalanced *after* its training
     finished, so the budget never perturbs the current step's replay
     set.
-
-    The ``store_root`` / ``store_shard_samples`` / ``store_overwrite`` /
-    ``prefetch`` / ``federation_*`` kwargs are deprecated shims: they
-    emit a :class:`DeprecationWarning` and translate to the equivalent
-    spec with bitwise-identical behavior.
     """
     if not splits:
         raise DataError("need at least one split")
-    replay = resolve_replay_spec(
-        replay,
-        {
-            "store_root": store_root,
-            "store_shard_samples": store_shard_samples,
-            "store_overwrite": store_overwrite,
-            "prefetch": prefetch,
-            "federation_budget_bytes": federation_budget_bytes,
-            "federation_policy": federation_policy,
-            "federation_seed": federation_seed,
-        },
-        caller="run_sequential",
-    )
+    replay = resolve_replay_spec(replay)
     if replay is None:
         replay = ReplaySpec()
     from repro.core.pipeline import PretrainResult

@@ -34,20 +34,26 @@ class SpikingLR(NCLMethod):
     name = "spikinglr"
 
     def __init__(self, config: ExperimentConfig, timesteps: int | None = None):
-        """``timesteps`` overrides the NCL resolution (the paper's case
-        study runs SpikingLR at reduced timesteps to expose Observation A
-        — accuracy collapse without compensation)."""
+        """``timesteps`` overrides the NCL resolution.
+
+        The paper's case study runs SpikingLR at reduced timesteps to
+        expose Observation A — accuracy collapse without compensation.
+        """
         super().__init__(config)
         self._timesteps = timesteps or config.pretrain.timesteps
 
     def ncl_timesteps(self) -> int:
+        """Full pre-training resolution (SpikingLR's default regime)."""
         return self._timesteps
 
     def learning_rate(self) -> float:
+        """Conventional fine-tuning reduction: eta_pre / 10."""
         return self.base_eta() / SPIKINGLR_LR_DIVISOR
 
     def compression_factor(self) -> int:
+        """Fig. 7's 2x compress/decompress storage cycle."""
         return SPIKINGLR_COMPRESSION_FACTOR
 
     def decompress_for_replay(self) -> bool:
+        """SpikingLR decompresses its latent data every epoch."""
         return True

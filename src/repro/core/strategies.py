@@ -22,7 +22,7 @@ import numpy as np
 from repro import obs
 from repro.config import ExperimentConfig
 from repro.core.latent_replay import LatentReplayBuffer
-from repro.core.replayspec import UNSET, ReplaySpec, resolve_replay_spec
+from repro.core.replayspec import ReplaySpec, resolve_replay_spec
 from repro.data.tasks import ClassIncrementalSplit
 from repro.errors import ConfigError
 from repro.seeding import spawn
@@ -82,7 +82,7 @@ class NCLResult:
     prepare_cost: EpochCost
     network: "SpikingNetwork | None" = None
     #: Directory of the on-disk replay store when the run used the
-    #: store-backed path (``replay_store_dir``); None for in-memory runs.
+    #: store-backed path (``ReplaySpec.store_dir``); None for in-memory runs.
     replay_store_path: str | None = None
     #: Measured high-water mark of decoded replay bytes resident during
     #: store-backed training (the stream's LRU residency); 0 for
@@ -93,6 +93,7 @@ class NCLResult:
     trace: obs.TraceReport | None = None
 
     def summary(self) -> str:
+        """One-line human-readable digest of the run."""
         return (
             f"{self.method} (Lins={self.insertion_layer}, T={self.timesteps}): "
             f"old={self.final_old_accuracy:.4f} new={self.final_new_accuracy:.4f} "
@@ -120,7 +121,7 @@ class NCLMethod:
         raise NotImplementedError
 
     def learning_rate(self) -> float:
-        """eta_cl for the NCL phase."""
+        """The eta_cl learning rate of the NCL phase."""
         raise NotImplementedError
 
     def base_eta(self) -> float:
@@ -137,12 +138,15 @@ class NCLMethod:
         return None
 
     def compression_factor(self) -> int:
+        """Storage compression applied to latent data (1 = none)."""
         return 1
 
     def decompress_for_replay(self) -> bool:
+        """Whether replay decompresses latent data each epoch."""
         return False
 
     def uses_replay(self) -> bool:
+        """Whether the method maintains a replay buffer at all."""
         return True
 
     # -- protocol -------------------------------------------------------
@@ -151,11 +155,6 @@ class NCLMethod:
         pretrained: SpikingNetwork,
         split: ClassIncrementalSplit,
         replay: ReplaySpec | None = None,
-        *,
-        replay_store_dir=UNSET,
-        store_shard_samples=UNSET,
-        store_overwrite=UNSET,
-        prefetch=UNSET,
     ) -> NCLResult:
         """Execute the full NCL phase; the pre-trained network is not mutated.
 
@@ -182,22 +181,8 @@ class NCLMethod:
         :class:`~repro.replaystore.prefetch.PrefetchingStream` — output
         is bitwise-identical either way).  ``None`` defers to the
         ``REPRO_PREFETCH`` environment switch.
-
-        The ``replay_store_dir`` / ``store_shard_samples`` /
-        ``store_overwrite`` / ``prefetch`` kwargs are deprecated shims:
-        they emit a :class:`DeprecationWarning` and translate to the
-        equivalent spec with bitwise-identical behavior.
         """
-        replay = resolve_replay_spec(
-            replay,
-            {
-                "replay_store_dir": replay_store_dir,
-                "store_shard_samples": store_shard_samples,
-                "store_overwrite": store_overwrite,
-                "prefetch": prefetch,
-            },
-            caller=f"{type(self).__name__}.run",
-        )
+        replay = resolve_replay_spec(replay)
         if replay is None:
             replay = ReplaySpec()
         if replay.has_federation_options:
@@ -457,13 +442,17 @@ class NaiveFinetune(NCLMethod):
     name = "naive-finetune"
 
     def insertion_layer(self) -> int:
-        return 0  # nothing frozen: plain continued training
+        """Nothing frozen: plain continued training from layer 0."""
+        return 0
 
     def ncl_timesteps(self) -> int:
+        """Full pre-training resolution."""
         return self.config.pretrain.timesteps
 
     def learning_rate(self) -> float:
+        """The pre-training rate, continued."""
         return self.config.pretrain.learning_rate
 
     def uses_replay(self) -> bool:
+        """Naive fine-tuning keeps no replay buffer — that is the point."""
         return False

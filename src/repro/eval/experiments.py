@@ -151,6 +151,7 @@ def context(scale: str = "bench") -> ExperimentContext:
 
 
 def available_experiments() -> list[str]:
+    """Sorted ids of every reproducible figure/table."""
     from repro.eval import figures
 
     return sorted(figures.FIGURES)

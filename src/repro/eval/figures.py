@@ -244,10 +244,12 @@ def fig8(ctx: ExperimentContext) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 def fig10(ctx: ExperimentContext) -> ExperimentResult:
-    """Accuracy (a), processing time (b), and energy (c) of SpikingLR vs
-    Replay4NCL across LR insertion layers.  Latency/energy are
+    """Accuracy, processing time, and energy across LR insertion layers.
+
+    SpikingLR vs Replay4NCL over panels (a)-(c); latency/energy are
     normalized to SpikingLR at insertion layer 0 (the paper's SOTA
-    reference)."""
+    reference).
+    """
     result = ExperimentResult(
         experiment_id="fig10",
         title="SpikingLR vs Replay4NCL across LR insertion layers",
@@ -317,10 +319,13 @@ def fig10(ctx: ExperimentContext) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 def fig11(ctx: ExperimentContext) -> ExperimentResult:
-    """Old-task accuracy vs epoch (a) plus cumulative latency (b) and
+    """Layer-3 profiles across epochs (the headline accuracy figure).
+
+    Old-task accuracy vs epoch (a) plus cumulative latency (b) and
     energy (c) at epoch checkpoints, for the headline insertion layer.
     Bars are normalized to SpikingLR at the first checkpoint, as in the
-    paper ("Normalized to SOTA Epoch 10")."""
+    paper ("Normalized to SOTA Epoch 10").
+    """
     result = ExperimentResult(
         experiment_id="fig11",
         title="Epoch profiles at the headline LR insertion layer",
@@ -402,9 +407,12 @@ def fig11(ctx: ExperimentContext) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 def fig12(ctx: ExperimentContext) -> ExperimentResult:
-    """Latent memory across LR insertion layers 1..L-1, normalized to
-    SpikingLR at layer 1 (the paper omits layer 0, whose "latent" data is
-    the raw input).  Only buffer generation runs — no training needed."""
+    """Latent memory across LR insertion layers 1..L-1.
+
+    Normalized to SpikingLR at layer 1 (the paper omits layer 0, whose
+    "latent" data is the raw input).  Only buffer generation runs — no
+    training needed.
+    """
     result = ExperimentResult(
         experiment_id="fig12",
         title="Latent memory: SpikingLR vs Replay4NCL",
@@ -458,9 +466,11 @@ def fig12(ctx: ExperimentContext) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 def fig13(ctx: ExperimentContext) -> ExperimentResult:
-    """New-task accuracy over a 3x-longer training run (the paper's 150
-    epochs vs the usual 50): Replay4NCL's lower learning rate gives a
-    smoother curve and equal-or-better late accuracy."""
+    """New-task accuracy over a 3x-longer training run.
+
+    The paper's 150 epochs vs the usual 50: Replay4NCL's lower learning
+    rate gives a smoother curve and equal-or-better late accuracy.
+    """
     result = ExperimentResult(
         experiment_id="fig13",
         title="Long-training accuracy profiles (new task)",
@@ -504,9 +514,11 @@ def fig13(ctx: ExperimentContext) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 def headline(ctx: ExperimentContext) -> ExperimentResult:
-    """The abstract's four numbers: old-task Top-1 (ours vs SOTA),
-    latency speed-up, latent memory saving, energy saving — at the
-    headline insertion layer."""
+    """The abstract's four numbers, at the headline insertion layer.
+
+    Old-task Top-1 (ours vs SOTA), latency speed-up, latent memory
+    saving, and energy saving.
+    """
     result = ExperimentResult(
         experiment_id="headline",
         title="Headline comparison (paper abstract)",

@@ -33,6 +33,7 @@ class Series:
             )
 
     def as_dict(self) -> dict:
+        """JSON-ready payload of the series."""
         return {
             "name": self.name,
             "x_label": self.x_label,
@@ -54,12 +55,15 @@ class ExperimentResult:
     scalars: dict[str, float] = field(default_factory=dict)
 
     def add_series(self, series: Series) -> None:
+        """Append one plotted series."""
         self.series.append(series)
 
     def add_note(self, note: str) -> None:
+        """Attach a free-text caveat/annotation to the result."""
         self.notes.append(note)
 
     def get_series(self, name: str) -> Series:
+        """Look up a series by name (raises when absent)."""
         for s in self.series:
             if s.name == name:
                 return s
@@ -104,6 +108,7 @@ class ExperimentResult:
         return "\n".join(rows) + "\n"
 
     def to_json(self) -> str:
+        """Serialize the full result (series, notes, scalars) to JSON."""
         return json.dumps(
             {
                 "experiment_id": self.experiment_id,

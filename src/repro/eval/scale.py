@@ -39,6 +39,7 @@ class ScalePreset:
 
     @property
     def description(self) -> str:
+        """One-line summary shown by ``repro list``."""
         net = self.experiment.network.layer_sizes
         return (
             f"{self.name}: net={net}, T_pre={self.experiment.pretrain.timesteps}, "

@@ -1,4 +1,4 @@
-"""The five built-in scenarios.
+"""The built-in scenarios.
 
 Continual-learning surveys distinguish several settings by *what
 changes* between steps; each built-in maps one onto the shared
@@ -13,14 +13,29 @@ changes* between steps; each built-in maps one onto the shared
   evaluation runs with the task id known and the readout masked to the
   active task's classes (the task-IL regime; training is identical to
   ``sequential`` at the same seed — only inference changes).
+- ``stationary`` — the degenerate base stream: the same classes and the
+  same clean data at every step.  Useless alone, it exists as the
+  canonical substrate for combinators that change the *data* rather
+  than the label space (``domain-incremental`` is ``stationary`` +
+  :func:`~repro.scenario.combinators.with_drift`).
 - ``domain-incremental`` — the label space is fixed; the *input
   statistics* drift step by step (temporal blur, onset jitter, dying
   channels via :func:`~repro.data.transforms.drift_dataset`).
 - ``blurry`` — class-incremental with overlapping boundaries: each
-  step's training stream is dominated by its new classes but carries a
-  minority blend of already-seen classes (the online/blurry setting).
+  step's stream is dominated by its new classes but carries a minority
+  blend of already-seen classes (the online/blurry setting).
+- ``streaming`` — the online regime the paper's edge story implies: a
+  single pass over each task's data, arriving in small chunks, with the
+  task evaluated anytime (after every chunk).
 
-All five are lazy: datasets materialise only as ``steps()`` is
+``task-incremental``, ``domain-incremental`` and ``blurry`` are *thin
+aliases*: they keep their registry names and parameter surfaces but
+delegate ``steps()`` to the scenario combinators
+(:mod:`repro.scenario.combinators`) over a plainer base — and stay
+bitwise-identical to their pre-combinator implementations at the same
+seed (asserted in ``tests/scenario/test_combinators.py``).
+
+All built-ins are lazy: datasets materialise only as ``steps()`` is
 iterated — class streams generate step k's datasets only when the
 iterator reaches it.  Everything is deterministic given
 ``(generator, experiment)`` — per-step randomness is spawned from
@@ -29,13 +44,13 @@ iterator reaches it.  Everything is deterministic given
 Each built-in also declares ``disjoint_eval``: ``True`` promises that
 every step's ``new_test`` covers only that step's new classes, disjoint
 from the old pool (the conformance suite checks the promise for every
-registered scenario that makes it); ``domain-incremental`` sets it to
-``False`` — its "new" task is the same label space under drift.
+registered scenario that makes it); ``stationary`` and
+``domain-incremental`` set it to ``False`` — their "new" task is the
+same label space.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -43,18 +58,19 @@ from repro.config import ExperimentConfig
 from repro.core.sequential import iter_sequential_splits
 from repro.data.synthetic_shd import SyntheticSHD
 from repro.data.tasks import ClassIncrementalSplit, make_class_incremental
-from repro.data.transforms import drift_dataset
 from repro.errors import ConfigError, DataError
 from repro.scenario.base import ContinualStep
+from repro.scenario.combinators import with_blur, with_drift, with_task_masks
 from repro.scenario.registry import register
-from repro.seeding import spawn
 
 __all__ = [
     "SingleStepScenario",
     "SequentialScenario",
     "TaskIncrementalScenario",
+    "StationaryScenario",
     "DomainIncrementalScenario",
     "BlurryScenario",
+    "StreamingScenario",
 ]
 
 
@@ -198,6 +214,9 @@ class TaskIncrementalScenario(SequentialScenario):
     readout per evaluated task.  Masking can only help a task whose
     true class is in its own group, so the task-IL accuracy matrix
     dominates the class-IL one entry-wise for the same trained network.
+
+    A thin alias: ``steps()`` is the parent stream through
+    :func:`~repro.scenario.combinators.with_task_masks`.
     """
 
     name = "task-incremental"
@@ -215,18 +234,73 @@ class TaskIncrementalScenario(SequentialScenario):
         self, generator: SyntheticSHD, experiment: ExperimentConfig
     ) -> Iterator[ContinualStep]:
         """Yield the parent stream's steps, decorated with task membership."""
-        # One source of truth for the class layout: decorate the parent
-        # stream with task membership read off each split (task 0 is the
-        # first step's base pool; task j > 0 is step j-1's new classes).
-        groups: list[tuple[int, ...]] = []
-        for step in super().steps(generator, experiment):
-            if not groups:
-                groups.append(step.split.old_classes)
-            groups.append(step.split.new_classes)
-            yield dataclasses.replace(
-                step,
-                name=f"step-{step.index}: +task {list(step.split.new_classes)}",
-                task_classes=tuple(groups),
+        parent = SequentialScenario(
+            steps_count=self.steps_count,
+            classes_per_step=self.classes_per_step,
+            base_classes=self.base_classes,
+        )
+        yield from with_task_masks(parent).steps(generator, experiment)
+
+
+@dataclass(frozen=True)
+class StationaryScenario:
+    """The same classes and the same clean data at every step.
+
+    The identity element of the scenario algebra: nothing changes
+    between steps, so alone it only measures training stability.  Its
+    purpose is to serve as the substrate for combinators that transform
+    the *data* — ``domain-incremental`` is exactly ``stationary`` under
+    :func:`~repro.scenario.combinators.with_drift`.  Each step's split
+    carries the clean datasets both as the replay source / retention
+    test (``pretrain_*``) and as the arriving task (``new_*``), over
+    the full label space.
+    """
+
+    steps_count: int = 2
+
+    name = "stationary"
+    #: Old and new are the same label space — eval sets intentionally
+    #: share classes.
+    disjoint_eval = False
+
+    def __post_init__(self):
+        if self.steps_count <= 0:
+            raise ConfigError(
+                f"steps_count must be positive, got {self.steps_count}"
+            )
+
+    def describe(self) -> str:
+        """One-line summary for ``repro scenario list``."""
+        return (
+            f"{self.steps_count} steps of the same classes and clean data "
+            "(combinator substrate)"
+        )
+
+    def steps(
+        self, generator: SyntheticSHD, experiment: ExperimentConfig
+    ) -> Iterator[ContinualStep]:
+        """Yield identical clean steps over the full label space."""
+        clean_train = generator.generate_dataset(
+            experiment.samples_per_class, split="train"
+        )
+        clean_test = generator.generate_dataset(
+            experiment.test_samples_per_class, split="test"
+        )
+        all_classes = tuple(range(generator.config.num_classes))
+        for k in range(self.steps_count):
+            split = ClassIncrementalSplit(
+                pretrain_train=clean_train,
+                pretrain_test=clean_test,
+                new_train=clean_train,
+                new_test=clean_test,
+                old_classes=all_classes,
+                new_classes=all_classes,
+            )
+            yield ContinualStep(
+                index=k,
+                split=split,
+                name=f"step-{k}: stationary",
+                info={},
             )
 
 
@@ -246,6 +320,10 @@ class DomainIncrementalScenario:
     arriving task (``new_*``), so "old accuracy" reads as *retention of
     the original domain* and "new accuracy" as *adaptation to the
     drifted one*.
+
+    A thin alias: ``steps()`` is :class:`StationaryScenario` through
+    :func:`~repro.scenario.combinators.with_drift`, bitwise-identical
+    to the pre-combinator implementation at the same seed.
     """
 
     steps_count: int = 2
@@ -278,42 +356,17 @@ class DomainIncrementalScenario:
             + (", temporal blur)" if self.blur else ")")
         )
 
-    def _severity(self, k: int, grid_steps: int) -> dict:
-        return {
-            "max_shift": (k + 1) * self.max_shift,
-            "dropout_p": min((k + 1) * self.dropout_p, 0.45),
-            "blur_steps": max(grid_steps // (k + 2), 8) if self.blur else None,
-        }
-
     def steps(
         self, generator: SyntheticSHD, experiment: ExperimentConfig
     ) -> Iterator[ContinualStep]:
         """Yield steps of the same classes under increasing drift severity."""
-        clean_train = generator.generate_dataset(
-            experiment.samples_per_class, split="train"
+        chain = with_drift(
+            StationaryScenario(steps_count=self.steps_count),
+            max_shift=self.max_shift,
+            dropout_p=self.dropout_p,
+            blur=self.blur,
         )
-        clean_test = generator.generate_dataset(
-            experiment.test_samples_per_class, split="test"
-        )
-        all_classes = tuple(range(generator.config.num_classes))
-        grid = generator.config.grid_steps
-        for k in range(self.steps_count):
-            severity = self._severity(k, grid)
-            rng = spawn(experiment.seed, f"scenario:domain:{k}")
-            split = ClassIncrementalSplit(
-                pretrain_train=clean_train,
-                pretrain_test=clean_test,
-                new_train=drift_dataset(clean_train, rng, grid_steps=grid, **severity),
-                new_test=drift_dataset(clean_test, rng, grid_steps=grid, **severity),
-                old_classes=all_classes,
-                new_classes=all_classes,
-            )
-            yield ContinualStep(
-                index=k,
-                split=split,
-                name=f"step-{k}: domain drift severity {k + 1}",
-                info={"domain": k + 1, **severity},
-            )
+        yield from chain.steps(generator, experiment)
 
 
 @dataclass(frozen=True)
@@ -326,6 +379,10 @@ class BlurryScenario:
     ``blur_fraction`` of the seen-class pool into the step's training
     stream (labels kept) — the *blurry* continual setting.  Evaluation
     stays disjoint: ``new_test`` holds only the step's new classes.
+
+    A thin alias: ``steps()`` is :class:`SequentialScenario` through
+    :func:`~repro.scenario.combinators.with_blur`, bitwise-identical to
+    the pre-combinator implementation at the same seed.
     """
 
     steps_count: int = 2
@@ -358,44 +415,148 @@ class BlurryScenario:
         self, generator: SyntheticSHD, experiment: ExperimentConfig
     ) -> Iterator[ContinualStep]:
         """Yield class-incremental steps with seen-class minority blends."""
+        chain = with_blur(
+            SequentialScenario(
+                steps_count=self.steps_count,
+                classes_per_step=self.classes_per_step,
+                base_classes=self.base_classes,
+            ),
+            blur_fraction=self.blur_fraction,
+        )
+        yield from chain.steps(generator, experiment)
+
+
+@dataclass(frozen=True)
+class StreamingScenario:
+    """Online/streaming CL: one pass over each task, in small chunks.
+
+    The regime the paper's embedded-edge story actually implies: data
+    arrives as a stream, each recording is seen once, and the learner
+    is evaluated *anytime* — not only at task boundaries.  The stream
+    brings ``tasks`` class-incremental tasks of ``classes_per_task``
+    classes each; every task's training data is partitioned — in
+    arrival order, single-pass — into ``chunks_per_task`` disjoint
+    chunks, and each chunk is one :class:`ContinualStep`.  The step's
+    ``new_test`` is the *whole* task's test set, so
+    :func:`~repro.scenario.runner.run_scenario`'s after-every-step
+    evaluation reads as anytime evaluation of every task seen so far.
+
+    The replay pool of every chunk covers the classes seen before the
+    current task (chunks of the task in progress are new data, not
+    replay memory), so ``disjoint_eval`` holds and forgetting metrics
+    keep their meaning chunk-by-chunk.  Long streams stay lazy: chunk
+    datasets materialise one step at a time, and
+    :func:`~repro.scenario.runner.run_scenario`'s checkpointing
+    (``checkpoint=``/``resume=``) lets a stream killed at chunk k
+    continue bitwise-identically.
+    """
+
+    tasks: int = 2
+    classes_per_task: int = 1
+    chunks_per_task: int = 2
+    base_classes: int | None = None
+
+    name = "streaming"
+    disjoint_eval = True
+
+    def __post_init__(self):
+        if self.tasks <= 0:
+            raise ConfigError(f"tasks must be positive, got {self.tasks}")
+        if self.classes_per_task <= 0:
+            raise ConfigError(
+                f"classes_per_task must be positive, got {self.classes_per_task}"
+            )
+        if self.chunks_per_task <= 0:
+            raise ConfigError(
+                f"chunks_per_task must be positive, got {self.chunks_per_task}"
+            )
+
+    def describe(self) -> str:
+        """One-line summary for ``repro scenario list``."""
+        return (
+            f"single-pass stream: {self.tasks} task(s) x "
+            f"{self.chunks_per_task} chunk(s), "
+            f"{self.classes_per_task} new class(es) per task, anytime eval"
+        )
+
+    def steps(
+        self, generator: SyntheticSHD, experiment: ExperimentConfig
+    ) -> Iterator[ContinualStep]:
+        """Yield one step per (task, chunk), lazily, in stream order."""
         base = (
             self.base_classes
             if self.base_classes is not None
-            else _default_base_classes(
-                generator, self.steps_count, self.classes_per_step
-            )
+            else _default_base_classes(generator, self.tasks, self.classes_per_task)
         )
-        splits = iter_sequential_splits(
-            generator,
-            experiment.samples_per_class,
-            experiment.test_samples_per_class,
-            base_classes=base,
-            steps=self.steps_count,
-            classes_per_step=self.classes_per_step,
-        )
-        for k, split in enumerate(splits):
-            rng = spawn(experiment.seed, f"scenario:blurry:{k}")
-            minority = split.pretrain_train.sample_fraction(self.blur_fraction, rng)
-            blurred = dataclasses.replace(
-                split, new_train=split.new_train.concat(minority)
+        needed = base + self.tasks * self.classes_per_task
+        if needed > generator.config.num_classes:
+            raise DataError(
+                f"stream needs {needed} classes but the generator has "
+                f"{generator.config.num_classes}"
             )
-            yield ContinualStep(
-                index=k,
-                split=blurred,
-                name=(
-                    f"step-{k}: +classes {list(split.new_classes)} "
-                    f"(+{len(minority)} seen-class samples)"
-                ),
-                info={
-                    "new_classes": split.new_classes,
-                    "minority_samples": len(minority),
-                    "blur_fraction": self.blur_fraction,
-                },
+        if experiment.samples_per_class * self.classes_per_task < self.chunks_per_task:
+            raise DataError(
+                f"cannot split {experiment.samples_per_class * self.classes_per_task} "
+                f"task samples into {self.chunks_per_task} non-empty chunks"
             )
+        index = 0
+        for t in range(self.tasks):
+            seen = list(range(base + t * self.classes_per_task))
+            new = list(
+                range(
+                    base + t * self.classes_per_task,
+                    base + (t + 1) * self.classes_per_task,
+                )
+            )
+            seen_train = generator.generate_dataset(
+                experiment.samples_per_class, split="train", classes=seen
+            )
+            seen_test = generator.generate_dataset(
+                experiment.test_samples_per_class, split="test", classes=seen
+            )
+            task_train = generator.generate_dataset(
+                experiment.samples_per_class, split="train", classes=new
+            )
+            task_test = generator.generate_dataset(
+                experiment.test_samples_per_class, split="test", classes=new
+            )
+            # Single pass: contiguous arrival-order slices, every sample
+            # in exactly one chunk.
+            bounds = [
+                round(c * len(task_train) / self.chunks_per_task)
+                for c in range(self.chunks_per_task + 1)
+            ]
+            for c in range(self.chunks_per_task):
+                chunk = task_train.subset(range(bounds[c], bounds[c + 1]))
+                yield ContinualStep(
+                    index=index,
+                    split=ClassIncrementalSplit(
+                        pretrain_train=seen_train,
+                        pretrain_test=seen_test,
+                        new_train=chunk,
+                        new_test=task_test,
+                        old_classes=tuple(seen),
+                        new_classes=tuple(new),
+                    ),
+                    name=(
+                        f"step-{index}: task {t} chunk {c + 1}/"
+                        f"{self.chunks_per_task} +classes {new}"
+                    ),
+                    info={
+                        "task": t,
+                        "chunk": c,
+                        "chunk_samples": len(chunk),
+                        "task_boundary": c == 0,
+                        "new_classes": tuple(new),
+                    },
+                )
+                index += 1
 
 
 register("single-step", SingleStepScenario)
 register("sequential", SequentialScenario)
 register("task-incremental", TaskIncrementalScenario)
+register("stationary", StationaryScenario)
 register("domain-incremental", DomainIncrementalScenario)
 register("blurry", BlurryScenario)
+register("streaming", StreamingScenario)

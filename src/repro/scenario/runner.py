@@ -22,6 +22,7 @@ and task-incremental regimes.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -43,6 +44,11 @@ from repro.data.datasets import SpikeDataset
 from repro.data.synthetic_shd import SyntheticSHD
 from repro.errors import ConfigError, DataError
 from repro.scenario.base import ContinualStep, Scenario
+from repro.scenario.checkpoint import (
+    CheckpointState,
+    ScenarioCheckpoint,
+    run_fingerprint,
+)
 from repro.scenario.metrics import (
     average_accuracy,
     backward_transfer,
@@ -229,6 +235,42 @@ def _step_masks(
     return [class_mask(group, num_classes) for group in step.task_classes]
 
 
+def _reopen_federation(replay: ReplaySpec, recorded: dict | None):
+    """Open the federation of a resumed store-backed run and verify it.
+
+    The checkpoint manifest records the federation's member list and
+    rebalance counter at commit time; a federation on disk that has
+    since diverged (extra members from a crash inside the tiny
+    adopt-to-commit window, a rewound counter, manual edits) cannot be
+    continued bitwise and is rejected with a clear error instead of
+    silently producing a forked trajectory.
+    """
+    from repro.replaystore.federation import FederatedReplayStore
+
+    federation = FederatedReplayStore.open(Path(replay.store_dir))
+    recorded = recorded or {}
+    members = [str(name) for name in recorded.get("members", [])]
+    rebalances = int(recorded.get("rebalances", 0))
+    if list(federation.member_names) != members or federation.rebalances != rebalances:
+        raise DataError(
+            f"replay federation at {replay.store_dir} diverged from the "
+            f"checkpoint (members {list(federation.member_names)} vs recorded "
+            f"{members}, rebalances {federation.rebalances} vs {rebalances}); "
+            "delete the store and the checkpoint to start over"
+        )
+    return federation
+
+
+def _federation_payload(federation) -> dict | None:
+    """Manifest slot recording the federation state at commit time."""
+    if federation is None:
+        return None
+    return {
+        "members": list(federation.member_names),
+        "rebalances": federation.rebalances,
+    }
+
+
 def run_scenario(
     scenario: Scenario | str,
     method: str | Callable[[ExperimentConfig], NCLMethod] = "replay4ncl",
@@ -238,6 +280,10 @@ def run_scenario(
     experiment: ExperimentConfig | None = None,
     pretrained: PretrainResult | SpikingNetwork | None = None,
     replay: ReplaySpec | str | Path | None = None,
+    checkpoint: ScenarioCheckpoint | str | Path | None = None,
+    resume: bool = False,
+    max_steps: int | None = None,
+    on_step: Callable[[int, NCLResult], None] | None = None,
 ) -> ScenarioResult:
     """Run a whole scenario end-to-end and return its CL metrics.
 
@@ -267,6 +313,33 @@ def run_scenario(
             ``replay.store_dir`` — identical plumbing (and
             bitwise-identical trajectories) to
             :func:`~repro.core.sequential.run_sequential`.
+        checkpoint: Checkpoint directory (or a ready
+            :class:`~repro.scenario.checkpoint.ScenarioCheckpoint`).
+            When given, the run commits its state after pre-training
+            and after every completed step — atomically, so a kill at
+            any instant leaves a valid checkpoint (see
+            :mod:`repro.scenario.checkpoint`).
+        resume: Continue from ``checkpoint`` instead of starting over.
+            The continuation is bitwise-identical to an uninterrupted
+            run: completed steps are skipped (their committed metrics
+            and the trained network are restored; ``pretrained`` is
+            then ignored), and the stream picks up at the first
+            unfinished step.  An empty/absent checkpoint directory is a
+            fresh start; a damaged or mismatched one raises
+            :class:`~repro.errors.DataError`.  The one restoration
+            loss: skipped steps' :class:`NCLResult`\\ s carry no
+            network (only the last completed step's weights persist)
+            and empty epoch-cost traces — matrices, metrics, and the
+            final network are exact.
+        max_steps: Stop (cleanly) after this many completed steps even
+            if the scenario yields more — with ``checkpoint`` set this
+            produces a deliberately interrupted run that ``resume``
+            continues (the CLI's ``--stop-after``).
+        on_step: Callback ``(step_index, result)`` fired after each
+            live step is evaluated (and, when checkpointing, after its
+            state is committed).  Restored steps do not fire.  The
+            resume test harness uses this to kill the process at exact
+            step boundaries.
     """
     if isinstance(scenario, str):
         scenario = get(scenario)
@@ -282,6 +355,17 @@ def run_scenario(
             "pass a method factory (registry name, class, or config -> "
             "NCLMethod callable), not a method instance: each step needs "
             "a fresh method"
+        )
+    if resume and checkpoint is None:
+        raise ConfigError("resume=True requires a checkpoint directory")
+    if max_steps is not None and max_steps <= 0:
+        raise ConfigError(f"max_steps must be positive, got {max_steps}")
+    store: ScenarioCheckpoint | None = None
+    if checkpoint is not None:
+        store = (
+            checkpoint
+            if isinstance(checkpoint, ScenarioCheckpoint)
+            else ScenarioCheckpoint(checkpoint)
         )
 
     if generator is None or experiment is None:
@@ -308,36 +392,82 @@ def run_scenario(
     num_classes = experiment.network.layer_sizes[-1]
     first_masks = _step_masks(first, 2, num_classes, task_aware)
 
+    # Same promotion + type validation as every other entry point (a
+    # bare path becomes a spec; anything else non-spec errors).  Before
+    # pre-training: an invalid spec must fail fast, and the checkpoint
+    # fingerprint covers the spec's canonical form.
+    replay = resolve_replay_spec(replay)
+    probe = method_factory(experiment)
+    method_name = method_label if method_label is not None else probe.name
+
+    state: CheckpointState | None = None
+    fingerprint = ""
+    if store is not None:
+        fingerprint = run_fingerprint(
+            scenario=scenario,
+            method=method_name,
+            experiment=experiment,
+            replay=replay,
+        )
+        if resume:
+            state = store.load(fingerprint=fingerprint)
+
     recorder = obs.current()
     trace_mark = recorder.mark()
     with obs.span("scenario.run", category="scenario", scenario=scenario.name):
-        # ---- session 0: pre-train on the first step's base data ------
-        with obs.span("scenario.pretrain", category="scenario"):
-            if pretrained is None:
-                pretrained = pretrain(experiment, first.split)
-            if isinstance(pretrained, PretrainResult):
-                network = pretrained.network
-            else:
-                network = pretrained
-            # R[0, 0] under the same deployment semantics as every later
-            # row: the pretrain-time test accuracy (full pretrain
-            # timesteps, static threshold) would fold the systematic
-            # timestep-reduction gap into the base task's
-            # forgetting/BWT.
-            probe = method_factory(experiment)
-            pretrain_mask = first_masks[0]
-            pretrain_accuracy = _task_accuracy(
-                network,
-                first.split.pretrain_test,
-                probe.ncl_timesteps(),
-                probe,
-                mask=pretrain_mask,
+        # ---- session 0: pre-train on the first step's base data (or
+        # restore the interrupted run's committed state) ---------------
+        if state is not None:
+            with obs.span(
+                "scenario.restore", category="scenario", steps=state.steps_completed
+            ):
+                network = SpikingNetwork(
+                    experiment.network, seed=experiment.seed
+                )
+                network.load_state_dict(state.network_state)
+                pretrain_accuracy = state.pretrain_accuracy
+            federation = (
+                _reopen_federation(replay, state.federation)
+                if replay is not None and replay.store_backed
+                else None
             )
-
-        # Same promotion + type validation as every other entry point (a
-        # bare path becomes a spec; anything else non-spec errors).
-        replay = resolve_replay_spec(replay, {}, caller="run_scenario")
-        federation = create_federation(replay)
+        else:
+            with obs.span("scenario.pretrain", category="scenario"):
+                if pretrained is None:
+                    pretrained = pretrain(experiment, first.split)
+                if isinstance(pretrained, PretrainResult):
+                    network = pretrained.network
+                else:
+                    network = pretrained
+                # R[0, 0] under the same deployment semantics as every
+                # later row: the pretrain-time test accuracy (full
+                # pretrain timesteps, static threshold) would fold the
+                # systematic timestep-reduction gap into the base
+                # task's forgetting/BWT.
+                pretrain_mask = first_masks[0]
+                pretrain_accuracy = _task_accuracy(
+                    network,
+                    first.split.pretrain_test,
+                    probe.ncl_timesteps(),
+                    probe,
+                    mask=pretrain_mask,
+                )
+            federation = create_federation(replay)
+            if store is not None:
+                # Commit session 0 so a kill during the first step never
+                # pays for pre-training twice.
+                store.save(
+                    fingerprint=fingerprint,
+                    scenario=scenario.name,
+                    method=method_name,
+                    steps_completed=0,
+                    pretrain_accuracy=pretrain_accuracy,
+                    step_names=[],
+                    rows=[],
+                    results=[],
+                    network=network,
+                    federation=_federation_payload(federation),
+                )
 
         # ---- sessions 1..S: one NCL run per step, then evaluate all
         # tasks seen so far
@@ -348,17 +478,52 @@ def run_scenario(
 
         final_task_classes: tuple[tuple[int, ...], ...] | None = None
         step = first
+        reentry = False
+        if state is not None:
+            # Fast-forward the lazy stream past the committed steps:
+            # splits are rebuilt (deterministically) only as far as the
+            # evaluation sets the remaining steps will score against.
+            results = list(state.results)
+            step_names = list(state.step_names)
+            rows = [list(row) for row in state.rows]
+            if results:
+                results[-1].network = network
+            for k in range(state.steps_completed):
+                if step is None:
+                    raise DataError(
+                        f"checkpoint records {state.steps_completed} completed "
+                        f"steps but the scenario yielded only {k}"
+                    )
+                if step.name != state.step_names[k]:
+                    raise DataError(
+                        f"checkpoint step {k} was {state.step_names[k]!r} but "
+                        f"the scenario now yields {step.name!r} — the stream "
+                        "changed under the checkpoint"
+                    )
+                task_tests.append(step.split.new_test)
+                final_task_classes = step.task_classes
+                step = next(step_iter, None)
+            # The step being re-run may have left a partial member store
+            # behind (killed after the member was written, before its
+            # commit); the re-run must be free to overwrite it.
+            reentry = federation is not None
         while step is not None:
+            if max_steps is not None and len(results) >= max_steps:
+                break
             with obs.span(
                 "scenario.step", category="scenario", index=step.index, step=step.name
             ):
                 ncl_method = method_factory(experiment)
+                step_replay = replay
+                if reentry:
+                    step_replay = dataclasses.replace(replay, overwrite=True)
+                    reentry = False
                 result = run_chained_step(
                     ncl_method,
                     network,
                     step.split,
                     index=step.index,
-                    replay=replay,
+                    replay=step_replay,
                     federation=federation,
                 )
                 network = result.network
@@ -380,6 +545,24 @@ def run_scenario(
                             for dataset, mask in zip(task_tests, masks)
                         ]
                     )
+                if store is not None:
+                    with obs.span(
+                        "scenario.checkpoint", category="scenario", index=step.index
+                    ):
+                        store.save(
+                            fingerprint=fingerprint,
+                            scenario=scenario.name,
+                            method=method_name,
+                            steps_completed=len(results),
+                            pretrain_accuracy=pretrain_accuracy,
+                            step_names=step_names,
+                            rows=rows,
+                            results=results,
+                            network=network,
+                            federation=_federation_payload(federation),
+                        )
+            if on_step is not None:
+                on_step(step.index, result)
             step = next(step_iter, None)
 
         sessions = len(results) + 1
@@ -392,7 +575,7 @@ def run_scenario(
     obs.maybe_export()
     return ScenarioResult(
         scenario=scenario.name,
-        method=method_label if method_label is not None else probe.name,
+        method=method_name,
         steps=tuple(results),
         step_names=tuple(step_names),
         accuracy_matrix=matrix,

@@ -1,25 +1,15 @@
-"""ReplaySpec: validation, and the legacy-kwarg deprecation shims.
+"""ReplaySpec: validation and promotion into every run entry point.
 
-The API contract of the redesign: every legacy replay kwarg still
-works, emits a ``DeprecationWarning``, and produces a **bitwise
-identical** ``NCLResult``/``SequentialResult`` to the equivalent
-``ReplaySpec`` at the same seed.
+One frozen, validated object for all replay/store configuration.  The
+legacy per-entry-point kwargs (``replay_store_dir``, ``store_root``,
+``store_shard_samples``, ...) shipped one deprecation cycle as warning
+shims and are now gone: passing them is a ``TypeError``, and the specs
+below are the only spelling.
 """
 
-import warnings
-
-import numpy as np
 import pytest
 
-from repro.core import (
-    NaiveFinetune,
-    Replay4NCL,
-    ReplaySpec,
-    make_sequential_splits,
-    run_method,
-    run_sequential,
-)
-from repro.data.synthetic_shd import SyntheticSHD
+from repro.core import NaiveFinetune, Replay4NCL, ReplaySpec, run_method
 from repro.errors import ConfigError
 
 
@@ -82,18 +72,6 @@ class TestReplaySpecValidation:
         with pytest.raises(ConfigError, match="multi-step"):
             method.run(ci_pretrained.network, ci_split, replay=spec)
 
-    def test_mixing_spec_and_legacy_rejected(
-        self, ci_pretrained, ci_split, ci_preset, tmp_path
-    ):
-        method = Replay4NCL(ci_preset.experiment)
-        with pytest.raises(ConfigError, match="not both"):
-            method.run(
-                ci_pretrained.network,
-                ci_split,
-                replay=ReplaySpec(store_dir=tmp_path / "a"),
-                replay_store_dir=tmp_path / "b",
-            )
-
     def test_bare_path_promoted_to_spec(
         self, ci_pretrained, ci_split, ci_preset, tmp_path
     ):
@@ -106,153 +84,27 @@ class TestReplaySpecValidation:
         assert result.replay_store_path == str(tmp_path / "store")
 
 
-@pytest.fixture()
-def fast_experiment(ci_preset):
-    """One-epoch NCL config: warnings fire before training matters."""
-    exp = ci_preset.experiment
-    return exp.replace(ncl=exp.ncl.replace(epochs=1))
+class TestLegacyKwargsRemoved:
+    """The deprecated kwargs are gone, not silently accepted."""
 
-
-class TestDeprecationWarnings:
-    """Each legacy kwarg, passed alone, emits a DeprecationWarning."""
-
-    @pytest.mark.parametrize(
-        "kwargs",
-        [
-            {"replay_store_dir": None},
-            {"store_shard_samples": 4},
-            {"store_overwrite": True},
-            {"prefetch": None},
-        ],
-        ids=lambda kw: next(iter(kw)),
-    )
-    def test_method_run_kwargs_warn(
-        self, ci_pretrained, ci_split, fast_experiment, kwargs
-    ):
-        # Dir-less store kwargs were historically ignored (dense run);
-        # the shim must warn either way.  NaiveFinetune keeps it cheap.
-        method = NaiveFinetune(fast_experiment)
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            method.run(ci_pretrained.network, ci_split, **kwargs)
-
-    @pytest.mark.parametrize(
-        "kwargs",
-        [
-            {"store_root": None},
-            {"store_shard_samples": 4, "store_root": None},
-            {"federation_budget_bytes": None, "store_root": None},
-            {"federation_policy": "fifo", "store_root": None},
-            {"federation_seed": 1, "store_root": None},
-        ],
-        ids=lambda kw: next(iter(kw)),
-    )
-    def test_run_sequential_kwargs_warn(
-        self, ci_pretrained, ci_split, fast_experiment, ci_preset, kwargs
-    ):
-        generator = SyntheticSHD(ci_preset.shd, seed=ci_preset.experiment.seed)
-        splits = make_sequential_splits(
-            generator,
-            fast_experiment.samples_per_class,
-            fast_experiment.test_samples_per_class,
-            base_classes=4,
-            steps=1,
-        )
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            run_sequential(
-                lambda k: NaiveFinetune(fast_experiment),
-                ci_pretrained.network,
-                splits,
-                **kwargs,
-            )
-
-    def test_spec_path_emits_no_warning(
-        self, ci_pretrained, ci_split, fast_experiment, tmp_path
-    ):
-        method = NaiveFinetune(fast_experiment)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            method.run(ci_pretrained.network, ci_split, replay=ReplaySpec())
-
-
-def _assert_identical(a, b):
-    assert len(a.history) == len(b.history)
-    for mem, disk in zip(a.history, b.history):
-        assert mem.loss == disk.loss
-        assert mem.old_task_accuracy == disk.old_task_accuracy
-        assert mem.new_task_accuracy == disk.new_task_accuracy
-        assert mem.overall_accuracy == disk.overall_accuracy
-    assert a.latent_storage_bytes == b.latent_storage_bytes
-    for p_a, p_b in zip(a.network.parameters(), b.network.parameters()):
-        np.testing.assert_array_equal(p_a.data, p_b.data)
-
-
-class TestBitwiseShimParity:
-    def test_run_method_legacy_matches_spec(
+    def test_method_run_rejects_legacy_kwargs(
         self, ci_pretrained, ci_split, ci_preset, tmp_path
     ):
-        spec_result = run_method(
-            Replay4NCL(ci_preset.experiment),
-            ci_pretrained,
-            ci_split,
-            replay=ReplaySpec(
-                store_dir=tmp_path / "spec", shard_samples=4, prefetch=False
-            ),
-        )
-        with pytest.warns(DeprecationWarning):
-            legacy_result = run_method(
+        method = NaiveFinetune(ci_preset.experiment)
+        with pytest.raises(TypeError):
+            method.run(
+                ci_pretrained.network,
+                ci_split,
+                replay_store_dir=tmp_path / "store",
+            )
+
+    def test_run_method_rejects_non_spec_replay(
+        self, ci_pretrained, ci_split, ci_preset
+    ):
+        with pytest.raises(ConfigError, match="ReplaySpec or a store path"):
+            run_method(
                 Replay4NCL(ci_preset.experiment),
                 ci_pretrained,
                 ci_split,
-                replay_store_dir=tmp_path / "legacy",
-                store_shard_samples=4,
-                prefetch=False,
+                replay=42,
             )
-        _assert_identical(spec_result, legacy_result)
-
-    def test_run_sequential_legacy_matches_spec(
-        self, ci_pretrained, ci_preset, tmp_path
-    ):
-        exp = ci_preset.experiment
-        generator = SyntheticSHD(ci_preset.shd, seed=exp.seed)
-        splits = make_sequential_splits(
-            generator,
-            exp.samples_per_class,
-            exp.test_samples_per_class,
-            base_classes=4,
-            steps=1,
-        )
-        spec_result = run_sequential(
-            lambda k: Replay4NCL(exp),
-            ci_pretrained.network,
-            splits,
-            replay=ReplaySpec(
-                store_dir=tmp_path / "spec",
-                shard_samples=4,
-                prefetch=False,
-                federation_budget_bytes=1 << 20,
-                federation_policy="fifo",
-                federation_seed=1,
-            ),
-        )
-        with pytest.warns(DeprecationWarning):
-            legacy_result = run_sequential(
-                lambda k: Replay4NCL(exp),
-                ci_pretrained.network,
-                splits,
-                store_root=tmp_path / "legacy",
-                store_shard_samples=4,
-                prefetch=False,
-                federation_budget_bytes=1 << 20,
-                federation_policy="fifo",
-                federation_seed=1,
-            )
-        assert len(spec_result.steps) == len(legacy_result.steps) == 1
-        for a, b in zip(spec_result.steps, legacy_result.steps):
-            _assert_identical(a, b)
-        # Both persisted a federation at their respective roots.
-        from repro.replaystore import FederatedReplayStore
-
-        for result in (spec_result, legacy_result):
-            federation = FederatedReplayStore.open(result.store_root)
-            assert federation.member_names == ["step-000"]
-            assert federation.budget_bytes == 1 << 20

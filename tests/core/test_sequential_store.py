@@ -1,13 +1,13 @@
 """Store-federated sequential runs: the long-task-sequence harness.
 
-Scenario-level acceptance tests for `run_sequential(..., store_root=...)`:
+Scenario-level acceptance tests for `run_sequential(..., replay=ReplaySpec(...))`:
 a 3-step class-incremental stream whose replay memory lives in a
 per-step federation of on-disk stores must
 
 - reproduce the dense in-memory trajectory **bitwise** at the same seed,
   with async shard prefetch both on and off;
 - keep every step's peak resident replay memory bounded by the decode
-  granularity (``store_shard_samples`` worth of decoded shards), audited
+  granularity (``shard_samples`` worth of decoded shards), audited
   against the `hw.memory` model;
 - never let the federation exceed a global byte budget, no matter how
   many steps the stream runs.
@@ -16,7 +16,12 @@ per-step federation of on-disk stores must
 import numpy as np
 import pytest
 
-from repro.core import Replay4NCL, make_sequential_splits, run_sequential
+from repro.core import (
+    Replay4NCL,
+    ReplaySpec,
+    make_sequential_splits,
+    run_sequential,
+)
 from repro.core.pipeline import pretrain
 from repro.data.synthetic_shd import SyntheticSHD
 from repro.eval.scale import get_scale
@@ -69,9 +74,9 @@ def store_results(scenario, tmp_path_factory):
             lambda k: Replay4NCL(exp),
             pretrained.network,
             splits,
-            store_root=root,
-            store_shard_samples=SHARD_SAMPLES,
-            prefetch=mode,
+            replay=ReplaySpec(
+                store_dir=root, shard_samples=SHARD_SAMPLES, prefetch=mode
+            ),
         )
     return results
 
@@ -173,23 +178,25 @@ class TestRerun:
         exp, pretrained, splits = scenario
         from repro.errors import StoreError
 
-        kwargs = dict(
-            store_root=tmp_path / "fed",
-            store_shard_samples=SHARD_SAMPLES,
+        spec = ReplaySpec(
+            store_dir=tmp_path / "fed", shard_samples=SHARD_SAMPLES
         )
         first = run_sequential(
-            lambda k: Replay4NCL(exp), pretrained.network, splits[:1], **kwargs
+            lambda k: Replay4NCL(exp), pretrained.network, splits[:1], replay=spec
         )
         with pytest.raises(StoreError, match="already exists"):
             run_sequential(
-                lambda k: Replay4NCL(exp), pretrained.network, splits[:1], **kwargs
+                lambda k: Replay4NCL(exp), pretrained.network, splits[:1], replay=spec
             )
         rerun = run_sequential(
             lambda k: Replay4NCL(exp),
             pretrained.network,
             splits[:1],
-            store_overwrite=True,
-            **kwargs,
+            replay=ReplaySpec(
+                store_dir=tmp_path / "fed",
+                shard_samples=SHARD_SAMPLES,
+                overwrite=True,
+            ),
         )
         assert_trajectory_identical(first, rerun)
         federation = FederatedReplayStore.open(rerun.store_root)
@@ -206,9 +213,9 @@ class TestGlobalBudget:
             lambda k: Replay4NCL(exp),
             pretrained.network,
             splits,
-            store_root=tmp_path / "budgeted",
-            store_shard_samples=SHARD_SAMPLES,
-            federation_budget_bytes=None,
+            replay=ReplaySpec(
+                store_dir=tmp_path / "budgeted", shard_samples=SHARD_SAMPLES
+            ),
         )
         unbudgeted = probe(result.store_root).num_samples
         budget = 10 * probe(result.store_root).sample_bytes
@@ -216,9 +223,11 @@ class TestGlobalBudget:
             lambda k: Replay4NCL(exp),
             pretrained.network,
             splits,
-            store_root=tmp_path / "budgeted-tight",
-            store_shard_samples=SHARD_SAMPLES,
-            federation_budget_bytes=budget,
+            replay=ReplaySpec(
+                store_dir=tmp_path / "budgeted-tight",
+                shard_samples=SHARD_SAMPLES,
+                federation_budget_bytes=budget,
+            ),
         )
         federation = probe(budgeted.store_root)
         assert federation.model_bytes() <= budget

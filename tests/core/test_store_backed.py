@@ -1,7 +1,7 @@
 """Store-backed NCL runs: disk-resident replay, bitwise-identical training.
 
 The acceptance bar for the replaystore subsystem: running a full NCL
-phase with the replay buffer on disk (``replay_store_dir``) must
+phase with the replay buffer on disk (``ReplaySpec(store_dir=...)``) must
 reproduce the in-memory path **exactly** — same losses, same accuracy
 curve, same final weights — because the shard codecs are lossless and
 the minibatch schedule is unchanged.  Peak resident replay memory is
@@ -11,7 +11,7 @@ bounded by the shard size (asserted via the stream's decode cache).
 import numpy as np
 import pytest
 
-from repro.core import Replay4NCL, SpikingLR, run_method
+from repro.core import Replay4NCL, ReplaySpec, SpikingLR, run_method
 from repro.core.latent_replay import LatentReplayBuffer
 from repro.hw.memory import audit_store
 from repro.replaystore import ReplayStore, ReplayStream
@@ -39,8 +39,7 @@ class TestBitwiseParity:
             Replay4NCL(ci_preset.experiment),
             ci_pretrained,
             ci_split,
-            replay_store_dir=tmp_path / "store",
-            store_shard_samples=4,
+            replay=ReplaySpec(store_dir=tmp_path / "store", shard_samples=4),
         )
         _assert_identical(in_memory, store_backed)
         assert store_backed.replay_store_path == str(tmp_path / "store")
@@ -61,7 +60,7 @@ class TestBitwiseParity:
             SpikingLR(ci_preset.experiment),
             ci_pretrained,
             ci_split,
-            replay_store_dir=tmp_path / "store",
+            replay=ReplaySpec(store_dir=tmp_path / "store"),
         )
         _assert_identical(in_memory, store_backed)
 
@@ -75,7 +74,7 @@ class TestBitwiseParity:
             SpikingLR(ci_preset.experiment),
             ci_pretrained,
             ci_split,
-            replay_store_dir=tmp_path / "store",
+            replay=ReplaySpec(store_dir=tmp_path / "store"),
         )
         assert [c.decompressed_cells for c in mem.epoch_costs] == [
             c.decompressed_cells for c in disk.epoch_costs
@@ -90,8 +89,7 @@ class TestStoreArtifacts:
             Replay4NCL(ci_preset.experiment),
             ci_pretrained,
             ci_split,
-            replay_store_dir=root,
-            store_shard_samples=4,
+            replay=ReplaySpec(store_dir=root, shard_samples=4),
         )
         return result, ReplayStore.open(root)
 

@@ -19,10 +19,18 @@ inherits the same invariant coverage for free:
 - ``as_sequential()`` interop of the scenario's
   :class:`~repro.scenario.runner.ScenarioResult`.
 
+The same invariants are then re-applied to the full **(base scenario ×
+combinator)** product (``TestCombinatorProductConformance``): every
+registered base wrapped in every combinator from
+:mod:`repro.scenario.combinators` must stay protocol-conformant, lazy,
+and same-seed deterministic — combinators may transform steps but never
+weaken the contract.
+
 The check functions are module-level so they can also be aimed at
 deliberately broken scenarios: the suite must *fail* for a non-lazy or
 non-deterministic implementation, and those failures are demonstrated
-below (``TestConformanceCatchesViolations``).
+below (``TestConformanceCatchesViolations``) — including a combinator
+that eagerly materialises its base's stream.
 """
 
 import itertools
@@ -33,12 +41,39 @@ import pytest
 from repro.data.synthetic_shd import SyntheticSHD
 from repro.data.tasks import make_class_incremental
 from repro.eval.scale import get_scale
-from repro.scenario import Scenario, available, get, register, run_scenario
+from repro.scenario import (
+    Scenario,
+    available,
+    get,
+    register,
+    run_scenario,
+    with_blur,
+    with_class_repetition,
+    with_drift,
+    with_label_noise,
+    with_task_masks,
+)
 from repro.scenario import registry as registry_module
 
 #: Snapshot at collection time: one parametrization per registered
 #: scenario.  Register before import/collection to join the suite.
 NAMES = available()
+
+#: Every combinator, by the tag it appends to the base scenario's name.
+#: The product suite wraps each registered base in each of these.
+COMBINATORS = {
+    "blur": with_blur,
+    "class-repetition": with_class_repetition,
+    "drift": with_drift,
+    "label-noise": with_label_noise,
+    "task-masks": with_task_masks,
+}
+
+#: The full (base × combinator) product, computed at collection time so
+#: third-party registrations join it exactly like the plain suite.
+PRODUCT = [
+    (base, tag) for base in NAMES for tag in sorted(COMBINATORS)
+]
 
 #: Safety cap for the conformance walks — a registered scenario may
 #: describe an arbitrarily long stream; conformance only needs a prefix.
@@ -173,6 +208,56 @@ class TestRegisteredScenarioConformance:
         check_disjoint_eval(scenario, preset, experiment)
 
 
+# ---------------------------------------------------------------------------
+# The (base × combinator) product inherits the same invariants
+# ---------------------------------------------------------------------------
+
+
+def _product_id(pair) -> str:
+    base, tag = pair
+    return f"{base}+{tag}"
+
+
+class TestCombinatorProductConformance:
+    """Every combinator over every registered base keeps the contract."""
+
+    @pytest.mark.parametrize("pair", PRODUCT, ids=_product_id)
+    def test_protocol(self, pair):
+        base, tag = pair
+        wrapped = COMBINATORS[tag](get(base))
+        check_protocol(wrapped, f"{base}+{tag}")
+
+    @pytest.mark.parametrize("pair", PRODUCT, ids=_product_id)
+    def test_lazy_step_construction(self, pair, env):
+        _, experiment = env
+        base, tag = pair
+        check_lazy_steps(COMBINATORS[tag](get(base)), experiment)
+
+    @pytest.mark.parametrize("pair", PRODUCT, ids=_product_id)
+    def test_same_seed_determinism(self, pair, env):
+        preset, experiment = env
+        base, tag = pair
+        check_deterministic(COMBINATORS[tag](get(base)), preset, experiment)
+
+    @pytest.mark.parametrize("pair", PRODUCT, ids=_product_id)
+    def test_disjoint_eval_where_promised(self, pair, env):
+        preset, experiment = env
+        base, tag = pair
+        wrapped = COMBINATORS[tag](get(base))
+        if getattr(wrapped, "disjoint_eval", False) is not True:
+            pytest.skip(f"{base}+{tag} does not promise disjoint eval sets")
+        check_disjoint_eval(wrapped, preset, experiment)
+
+    def test_nested_chain_keeps_contract(self, env):
+        # Combinators compose: a three-deep chain is still a conforming,
+        # lazy, deterministic scenario.
+        preset, experiment = env
+        chained = with_task_masks(with_label_noise(with_blur(get("sequential"))))
+        check_protocol(chained, "sequential+blur+label-noise+task-masks")
+        check_lazy_steps(chained, experiment)
+        check_deterministic(chained, preset, experiment)
+
+
 @pytest.fixture(scope="module")
 def tiny_runs(env):
     """One ultra-short end-to-end run per scenario, computed on demand."""
@@ -265,11 +350,38 @@ class _FlakyScenario:
         )
 
 
+class _EagerCombinator:
+    """A *broken* combinator: drains its base inside ``steps()``.
+
+    Wrapping any real (lazy) base, this materialises the whole stream
+    before returning — exactly the failure mode the laziness probe must
+    catch for combinators, since a lazy base makes eagerness invisible
+    to everything but the generator.
+    """
+
+    def __init__(self, base):
+        self.base = base
+        self.name = f"{base.name}+eager"
+
+    def describe(self):
+        return f"{self.base.describe()} [materialised eagerly]"
+
+    def steps(self, generator, experiment):
+        return iter(list(self.base.steps(generator, experiment)))
+
+
 class TestConformanceCatchesViolations:
     def test_rejects_eager_scenario(self, env):
         _, experiment = env
         with pytest.raises(AssertionError, match="touched generator"):
             check_lazy_steps(_EagerScenario(), experiment)
+
+    def test_rejects_eager_combinator(self, env):
+        # The wrapped base is a perfectly lazy registered scenario; only
+        # the combinator is at fault, and the probe still catches it.
+        _, experiment = env
+        with pytest.raises(AssertionError, match="touched generator"):
+            check_lazy_steps(_EagerCombinator(get("sequential")), experiment)
 
     def test_rejects_materialised_sequence(self, env):
         _, experiment = env

@@ -111,3 +111,89 @@ class TestAdam:
         assert p.grad is not None
         opt.zero_grad()
         assert p.grad is None
+
+
+def two_params():
+    return [quadratic_param(5.0), quadratic_param(-3.0)]
+
+
+def assert_same_trajectory(make_optimizer, steps_before=3, steps_after=4):
+    """Snapshot/restore mid-training must continue bitwise.
+
+    Trains one optimizer straight through, and a second one that is
+    snapshotted at ``steps_before`` and restored into a *fresh*
+    optimizer over equal (position-matched) parameters — the
+    cross-process restore path of :mod:`repro.scenario.checkpoint`.
+    """
+    reference_params = two_params()
+    reference = make_optimizer(reference_params)
+    for _ in range(steps_before + steps_after):
+        for p in reference_params:
+            quadratic_step(p, reference)
+
+    first_params = two_params()
+    first = make_optimizer(first_params)
+    for _ in range(steps_before):
+        for p in first_params:
+            quadratic_step(p, first)
+    snapshot = first.state_dict()
+
+    resumed_params = [
+        quadratic_param(float(p.data[0])) for p in first_params
+    ]
+    resumed = make_optimizer(resumed_params)
+    resumed.load_state_dict(snapshot)
+    for _ in range(steps_after):
+        for p in resumed_params:
+            quadratic_step(p, resumed)
+
+    for a, b in zip(resumed_params, reference_params):
+        np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestStateSnapshots:
+    def test_sgd_momentum_round_trip(self):
+        assert_same_trajectory(
+            lambda ps: SGD(ps, learning_rate=0.05, momentum=0.9)
+        )
+
+    def test_adam_round_trip(self):
+        assert_same_trajectory(lambda ps: Adam(ps, learning_rate=0.05))
+
+    def test_snapshot_is_positional_not_identity_keyed(self):
+        # id() means nothing across processes; the exported slots must
+        # be integer *positions*.
+        params = two_params()
+        opt = Adam(params, learning_rate=0.1)
+        for p in params:
+            quadratic_step(p, opt)
+        state = opt.state_dict()
+        assert set(state["m"]) == {0, 1}
+        assert set(state["t"].values()) == {1}
+
+    def test_snapshot_is_a_copy(self):
+        p = quadratic_param()
+        opt = Adam([p], learning_rate=0.1)
+        quadratic_step(p, opt)
+        state = opt.state_dict()
+        frozen = state["m"][0].copy()
+        quadratic_step(p, opt)  # keeps mutating internal moments
+        np.testing.assert_array_equal(state["m"][0], frozen)
+
+    def test_restore_rejects_out_of_range_parameter_index(self):
+        p = quadratic_param()
+        opt = Adam([p], learning_rate=0.1)
+        quadratic_step(p, opt)
+        state = opt.state_dict()
+        state["m"][7] = state["m"].pop(0)
+        fresh = Adam([quadratic_param()], learning_rate=0.1)
+        with pytest.raises(ConfigError, match="snapshot indexes parameter"):
+            fresh.load_state_dict(state)
+
+    def test_learning_rate_restored(self):
+        p = quadratic_param()
+        opt = SGD([p], learning_rate=0.05)
+        opt.set_learning_rate(0.002)
+        fresh = SGD([quadratic_param()], learning_rate=0.5)
+        fresh.load_state_dict(opt.state_dict())
+        assert fresh.learning_rate == 0.002
