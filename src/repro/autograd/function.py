@@ -57,6 +57,7 @@ class FunctionContext:
         self.needs_input_grad: tuple[bool, ...] = ()
 
     def save_for_backward(self, *arrays) -> None:
+        """Stash forward-pass arrays for the backward closure."""
         self.saved = arrays
 
 
@@ -65,10 +66,12 @@ class Function:
 
     @staticmethod
     def forward(ctx: FunctionContext, *args, **kwargs):
+        """Compute outputs from inputs; subclasses must override."""
         raise NotImplementedError
 
     @staticmethod
     def backward(ctx: FunctionContext, *grad_outputs):
+        """Map output gradients to input gradients; subclasses must override."""
         raise NotImplementedError
 
     @classmethod

@@ -24,6 +24,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro import seeding
 from repro.errors import GradientError, ShapeError
 
 __all__ = [
@@ -122,22 +123,27 @@ class Tensor:
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, ...]:
+        """Shape of the wrapped array."""
         return self.data.shape
 
     @property
     def ndim(self) -> int:
+        """Number of dimensions of the wrapped array."""
         return self.data.ndim
 
     @property
     def size(self) -> int:
+        """Total element count of the wrapped array."""
         return self.data.size
 
     @property
     def dtype(self):
+        """Dtype of the wrapped array."""
         return self.data.dtype
 
     @property
     def T(self) -> "Tensor":
+        """Transposed view (reversed axes), differentiable."""
         return self.transpose()
 
     def __len__(self) -> int:
@@ -152,6 +158,7 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
+        """The single scalar value of a one-element tensor."""
         return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._item_error()
 
     @staticmethod
@@ -169,6 +176,7 @@ class Tensor:
         return out
 
     def zero_grad(self) -> None:
+        """Drop the accumulated gradient."""
         self.grad = None
 
     # ------------------------------------------------------------------
@@ -378,18 +386,22 @@ class Tensor:
     # Unary math
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
+        """Element-wise ``e**x`` with gradient ``g * exp(x)``."""
         data = np.exp(self.data)
         return Tensor._make_from_op(data, (self,), (lambda g, d=data: g * d,))
 
     def log(self) -> "Tensor":
+        """Element-wise natural log with gradient ``g / x``."""
         data = np.log(self.data)
         return Tensor._make_from_op(data, (self,), (lambda g, a=self.data: g / a,))
 
     def sqrt(self) -> "Tensor":
+        """Element-wise square root with gradient ``g / (2*sqrt(x))``."""
         data = np.sqrt(self.data)
         return Tensor._make_from_op(data, (self,), (lambda g, d=data: g / (2.0 * d),))
 
     def abs(self) -> "Tensor":
+        """Element-wise absolute value with sign-routed gradient."""
         data = np.abs(self.data)
         return Tensor._make_from_op(
             data, (self,), (lambda g, a=self.data: g * np.sign(a),)
@@ -405,6 +417,7 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (or all), gradient broadcast back."""
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def vjp(g, shape=self.shape, axis=axis, keepdims=keepdims):
@@ -415,6 +428,7 @@ class Tensor:
         return Tensor._make_from_op(np.asarray(data), (self,), (vjp,))
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean over ``axis`` (or all), gradient scaled by 1/count."""
         if axis is None:
             count = self.data.size
         else:
@@ -439,12 +453,14 @@ class Tensor:
         return Tensor._make_from_op(np.asarray(data), (self,), (vjp,))
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Minimum over ``axis`` via ``-max(-x)``."""
         return -((-self).max(axis=axis, keepdims=keepdims))
 
     # ------------------------------------------------------------------
     # Shape manipulation
     # ------------------------------------------------------------------
     def reshape(self, *shape) -> "Tensor":
+        """Reshaped view; gradient reshaped back to the input shape."""
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         data = self.data.reshape(shape)
@@ -453,6 +469,7 @@ class Tensor:
         )
 
     def transpose(self, *axes) -> "Tensor":
+        """Permute axes (reversed by default); gradient permuted back."""
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -495,7 +512,7 @@ def ones(shape, requires_grad: bool = False) -> Tensor:
 
 def randn(shape, rng: np.random.Generator | None = None, requires_grad: bool = False) -> Tensor:
     """Standard-normal tensor of ``shape`` drawn from ``rng``."""
-    rng = rng or np.random.default_rng()
+    rng = rng or seeding.default_rng()
     return Tensor(
         rng.standard_normal(shape).astype(DEFAULT_DTYPE), requires_grad=requires_grad
     )

@@ -14,6 +14,7 @@ Usage::
     python -m repro store federate runs/seq   # compose per-task stores
     python -m repro trace summary runs/trace.jsonl   # top spans + metrics
     python -m repro trace export runs/trace.jsonl    # Chrome/Perfetto JSON
+    python -m repro lint src/repro            # invariant linter (RPL rules)
 """
 
 from __future__ import annotations
@@ -103,6 +104,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--stop-after", type=int, default=None, metavar="K",
         help="stop after K steps (simulates an interrupted stream; "
         "pair with --checkpoint-dir, then --resume to finish)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the invariant linter (AST rules RPL001-RPL008; exit 2 "
+        "on findings)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files/directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is the versioned findings schema CI "
+        "archives)",
     )
 
     trace = sub.add_parser(
@@ -335,7 +351,7 @@ def _cmd_info() -> int:
     print(f"repro {repro.__version__} — Replay4NCL (DAC 2025) reproduction")
     print(
         "packages: autograd, snn, data, compression, replaystore, training, "
-        "core, scenario, hw, eval"
+        "core, scenario, hw, eval, obs, lint"
     )
     print("see DESIGN.md for the system inventory and EXPERIMENTS.md for results")
     return 0
@@ -457,6 +473,17 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import format_json, format_text, lint_paths
+
+    findings = lint_paths(args.paths)
+    if args.format == "json":
+        print(format_json(findings))
+    else:
+        print(format_text(findings))
+    return 2 if findings else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -512,6 +539,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_store(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         return _cmd_run(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -33,6 +33,7 @@ class AddressEventCodec:
 
     @property
     def bytes_per_event(self) -> int:
+        """Encoded bytes per address event (time + channel fields)."""
         return self.time_bytes + self.channel_bytes
 
     def compress(

@@ -26,7 +26,7 @@ class CodecStats:
 
     @property
     def compression_ratio(self) -> float:
-        """raw / stored (higher is better)."""
+        """Ratio of raw to stored bytes (higher is better)."""
         return self.raw_bytes / self.stored_bytes if self.stored_bytes else float("inf")
 
     @property

@@ -67,7 +67,7 @@ class TemporalSubsampleCodec:
         return out
 
     def roundtrip(self, raster: np.ndarray) -> np.ndarray:
-        """compress → decompress at the original length (lossy)."""
+        """Compress then decompress at the original length (lossy)."""
         raster = np.asarray(raster)
         return self.decompress(self.compress(raster), raster.shape[0])
 

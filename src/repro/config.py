@@ -23,6 +23,7 @@ __all__ = [
     "EnvFlag",
     "ENV_FLAGS",
     "env_flag",
+    "env_value",
     "env_switch",
     "BACKEND_CHOICES",
     "backend_selection",
@@ -338,6 +339,23 @@ def env_flag(name: str) -> EnvFlag:
         f"unknown environment flag {name!r}; declared flags: "
         f"{', '.join(f.name for f in ENV_FLAGS)}"
     )
+
+
+def env_value(name: str) -> str:
+    """Read a declared environment flag's raw string value.
+
+    Returns the process-environment value, or the flag's declared
+    default when the variable is unset.  This is the one blessed way
+    for library code to read a ``REPRO_*`` variable (the ``RPL003``
+    lint rule forbids direct ``os.environ`` access outside this
+    module), so every knob is declared, documented, and conformance-
+    tested in one place.
+
+    Raises:
+        ConfigError: If ``name`` is not a declared ``REPRO_*`` flag.
+    """
+    flag = env_flag(name)
+    return os.environ.get(flag.name, flag.default)
 
 
 def env_switch(name: str) -> bool:

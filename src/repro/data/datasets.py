@@ -48,9 +48,11 @@ class SpikeDataset:
 
     @property
     def present_classes(self) -> list[int]:
+        """Sorted class labels that actually occur in this dataset."""
         return sorted(set(int(label) for label in self.labels))
 
     def class_counts(self) -> dict[int, int]:
+        """Mapping of class label to its number of samples."""
         values, counts = np.unique(self.labels, return_counts=True)
         return {int(v): int(c) for v, c in zip(values, counts)}
 
@@ -75,6 +77,7 @@ class SpikeDataset:
         return self._dense_cache[timesteps]
 
     def subset(self, indices) -> "SpikeDataset":
+        """New dataset holding only the samples at ``indices``."""
         indices = np.asarray(indices, dtype=np.int64)
         return SpikeDataset(
             streams=[self.streams[i] for i in indices],
@@ -106,6 +109,7 @@ class SpikeDataset:
         return self.subset(sorted(chosen))
 
     def concat(self, other: "SpikeDataset") -> "SpikeDataset":
+        """Concatenate two compatible datasets along the sample axis."""
         if self.num_classes != other.num_classes:
             raise DataError(
                 f"cannot concat datasets with {self.num_classes} vs "

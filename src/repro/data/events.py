@@ -63,6 +63,7 @@ class EventStream:
 
     @property
     def num_events(self) -> int:
+        """Number of address events in the stream."""
         return int(self.times.size)
 
     def to_dense(self, timesteps: int) -> np.ndarray:

@@ -62,6 +62,7 @@ class DataLoader:
 
     @property
     def num_samples(self) -> int:
+        """Total samples the loader iterates per epoch."""
         return self._num_samples
 
     def __len__(self) -> int:

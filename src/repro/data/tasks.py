@@ -39,6 +39,7 @@ class ClassIncrementalSplit:
         return self.pretrain_test.concat(self.new_test)
 
     def describe(self) -> str:
+        """One-line human summary of the old/new class split."""
         return (
             f"class-incremental split: {len(self.old_classes)} old classes "
             f"({len(self.pretrain_train)} train / {len(self.pretrain_test)} test), "

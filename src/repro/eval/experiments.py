@@ -15,12 +15,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro.config import env_value
 from repro.core.pipeline import PretrainResult, pretrain
 from repro.core.strategies import NCLResult
 from repro.data.synthetic_shd import SyntheticSHD
@@ -49,8 +49,7 @@ _SCENARIO_RUNS: dict[tuple, object] = {}
 
 def cache_dir() -> Path:
     """Directory for cached pre-trained weights (override: REPRO_CACHE)."""
-    root = os.environ.get("REPRO_CACHE", os.path.join(".", ".repro_cache"))
-    path = Path(root)
+    path = Path(env_value("REPRO_CACHE"))
     path.mkdir(parents=True, exist_ok=True)
     return path
 

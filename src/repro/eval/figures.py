@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import seeding
 from repro.core.latent_replay import LatentReplayBuffer
 from repro.core.replay4ncl import Replay4NCL
 from repro.core.spikinglr import SpikingLR
@@ -422,7 +423,7 @@ def fig12(ctx: ExperimentContext) -> ExperimentResult:
     network = ctx.pretrained.network
     memory_model = LatentMemoryModel()
     replay = ctx.split.pretrain_train.sample_fraction(
-        exp.ncl.replay_fraction, np.random.default_rng(exp.seed)
+        exp.ncl.replay_fraction, seeding.default_rng(exp.seed)
     )
     layers = tuple(range(1, network.num_weight_layers))
 

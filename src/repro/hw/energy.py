@@ -43,12 +43,15 @@ class EnergyModel:
         return dynamic + static
 
     def epoch_energy(self, cost: EpochCost) -> float:
+        """Energy (J) of one epoch's spike/synapse activity."""
         return self.counts_energy(self._latency.epoch_counts(cost))
 
     def run_epoch_energies(self, result: NCLResult) -> list[float]:
+        """Per-epoch energies (J) of a full NCL run."""
         return [self.epoch_energy(cost) for cost in result.epoch_costs]
 
     def run_energy(self, result: NCLResult, include_prepare: bool = True) -> float:
+        """Total run energy (J), optionally including preparation."""
         total = sum(self.run_epoch_energies(result))
         if include_prepare:
             total += self.epoch_energy(result.prepare_cost)

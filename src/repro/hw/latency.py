@@ -46,6 +46,7 @@ class LatencyModel:
         return total
 
     def epoch_latency(self, cost: EpochCost) -> float:
+        """Latency (s) of one epoch's operation counts."""
         return self.counts_latency(self.epoch_counts(cost))
 
     # ------------------------------------------------------------------

@@ -171,6 +171,7 @@ class LatentMemoryModel:
         return audit_store(store, self.header_bytes)
 
     def buffer_bytes(self, buffer: LatentReplayBuffer) -> int:
+        """Resident bytes of a latent replay buffer under this model."""
         return latent_memory_bytes(
             buffer.stored_frames,
             buffer.num_samples,
@@ -181,6 +182,7 @@ class LatentMemoryModel:
     def geometry_bytes(
         self, stored_frames: int, num_samples: int, num_channels: int
     ) -> int:
+        """Resident bytes for an explicit buffer geometry."""
         return latent_memory_bytes(
             stored_frames, num_samples, num_channels, self.header_bytes
         )

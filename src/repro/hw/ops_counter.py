@@ -63,6 +63,7 @@ class OpCounts:
         )
 
     def scaled(self, factor: float) -> "OpCounts":
+        """New counts with every component multiplied by ``factor``."""
         return OpCounts(
             sops=self.sops * factor,
             macs=self.macs * factor,

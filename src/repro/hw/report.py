@@ -39,6 +39,7 @@ class MethodCost:
 
     @property
     def memory_saving(self) -> float:
+        """Fractional memory saved versus the baseline method."""
         return 1.0 - self.memory_ratio
 
 

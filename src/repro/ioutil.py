@@ -1,0 +1,99 @@
+"""Atomic file-write helpers shared by every persistence layer.
+
+The crash-safety story of the replay store (``index.json``), the
+federation ledger (``federation.json``) and the scenario checkpoint
+(``manifest.json`` + network archives) is the same three-step protocol:
+
+1. write the complete new content to a staging file (``<name>.tmp``)
+   next to the final path;
+2. atomically rename it over the final path (``os.replace`` — atomic on
+   POSIX and Windows for same-directory renames);
+3. only afterwards remove anything the old content made reachable.
+
+A crash at any point leaves either the previous complete file or the
+new complete file — never a truncated mixture.  This module is the one
+blessed implementation of steps 1–2; the linter rule ``RPL004``
+(:mod:`repro.lint`) forbids persistence modules from open-coding bare
+``open(path, "w")`` / ``json.dump`` writes so the protocol cannot be
+silently bypassed.
+
+The helpers deliberately do not ``fsync``: the crash model is process
+death (preempted worker, ``kill -9``, ``os._exit``), which the rename
+protocol already survives, and the callers commit after every scenario
+step — per-commit fsyncs would dominate small-step streaming runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "TMP_SUFFIX",
+    "atomic_open",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+]
+
+#: Suffix of the staging file written next to the final path.
+TMP_SUFFIX = ".tmp"
+
+
+@contextmanager
+def atomic_open(path: str | Path, mode: str = "w") -> Iterator[IO]:
+    """Open a staging file that atomically replaces ``path`` on success.
+
+    Yields a writable handle onto ``<path>.tmp``; when the block exits
+    cleanly the handle is flushed, closed, and renamed over ``path`` in
+    one atomic step.  If the block raises, the staging file is removed
+    and ``path`` is left exactly as it was.
+
+    Args:
+        path: Final destination of the write.
+        mode: ``"w"`` (text) or ``"wb"`` (binary).
+
+    Raises:
+        ConfigError: If ``mode`` is not a plain write mode.
+    """
+    if mode not in ("w", "wb"):
+        raise ConfigError(f"atomic_open supports modes 'w' and 'wb', got {mode!r}")
+    path = Path(path)
+    staging = path.with_name(path.name + TMP_SUFFIX)
+    handle = open(staging, mode, encoding=None if mode == "wb" else "utf-8")
+    try:
+        yield handle
+    except BaseException:
+        handle.close()
+        staging.unlink(missing_ok=True)
+        raise
+    handle.flush()
+    handle.close()
+    os.replace(staging, path)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (write-then-rename)."""
+    with atomic_open(path, "wb") as handle:
+        handle.write(data)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Atomically replace ``path`` with ``text`` (write-then-rename)."""
+    with atomic_open(path, "w") as handle:
+        handle.write(text)
+
+
+def atomic_write_json(path: str | Path, payload, indent: int = 1) -> None:
+    """Atomically replace ``path`` with ``payload`` serialized as JSON.
+
+    The serialization (``indent=1`` plus a trailing newline) matches the
+    store index, federation ledger, and checkpoint manifest formats, so
+    migrating a call site onto this helper is byte-identical.
+    """
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

@@ -1,0 +1,73 @@
+"""File/directory walking and output formatting for ``repro lint``.
+
+The runner is deliberately tiny: :func:`lint_paths` expands directories
+to sorted ``*.py`` files (deterministic finding order), delegates to
+:func:`repro.lint.framework.lint_source`, and the two formatters render
+the aggregate — human text or the versioned JSON schema CI archives as
+an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.lint.framework import Finding, lint_source
+
+__all__ = ["JSON_SCHEMA_VERSION", "lint_file", "lint_paths", "format_text", "format_json"]
+
+#: Version of the ``--format json`` document; bump on shape changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    """Lint one Python file from disk."""
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ConfigError(f"cannot read {path}: {error}") from None
+    return lint_source(source, path=str(path))
+
+
+def lint_paths(paths: list[str | Path]) -> list[Finding]:
+    """Lint files and/or directories (recursed, sorted); aggregate findings.
+
+    Raises:
+        ConfigError: If a path does not exist or a file is unreadable.
+    """
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        elif entry.is_file():
+            files.append(entry)
+        else:
+            raise ConfigError(f"no such file or directory: {entry}")
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path))
+    return findings
+
+
+def format_text(findings: list[Finding]) -> str:
+    """Human-readable report: one block per finding plus a total."""
+    if not findings:
+        return "no findings"
+    blocks = [finding.format() for finding in findings]
+    blocks.append(f"{len(findings)} finding(s)")
+    return "\n".join(blocks)
+
+
+def format_json(findings: list[Finding]) -> str:
+    """The versioned JSON document (``{"version", "count", "findings"}``)."""
+    return json.dumps(
+        {
+            "version": JSON_SCHEMA_VERSION,
+            "count": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        },
+        indent=1,
+    )

@@ -24,12 +24,11 @@ untraced runs are bitwise-identical by construction (asserted in
 from __future__ import annotations
 
 import itertools
-import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from repro.config import env_flag, trace_selection
+from repro.config import env_value, trace_selection
 from repro.obs.clock import Clock, MonotonicClock
 
 __all__ = [
@@ -358,12 +357,9 @@ _NULL_RECORDER = NullRecorder()
 #: Explicitly-installed recorders (tests/benches) — innermost wins.
 _OVERRIDES: list = []
 
-#: Default of ``REPRO_TRACE`` per the :data:`repro.config.ENV_FLAGS` registry.
-_DEFAULT_RAW = env_flag("REPRO_TRACE").default
-
 #: Memoization of the env-selected recorder on the raw env string, so a
 #: mid-process flip of ``REPRO_TRACE`` swaps recorders immediately while
-#: the steady-state cost stays one ``os.environ`` read + string compare.
+#: the steady-state cost stays one environment read + string compare.
 _ENV_MEMO: dict = {"raw": None, "recorder": _NULL_RECORDER}
 
 
@@ -371,7 +367,7 @@ def current() -> Recorder | NullRecorder:
     """The active recorder: innermost override, else the env-selected one."""
     if _OVERRIDES:
         return _OVERRIDES[-1]
-    raw = os.environ.get("REPRO_TRACE", _DEFAULT_RAW)
+    raw = env_value("REPRO_TRACE")
     if raw != _ENV_MEMO["raw"]:
         on, _ = trace_selection()
         _ENV_MEMO["recorder"] = Recorder() if on else _NULL_RECORDER

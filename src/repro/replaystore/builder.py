@@ -20,6 +20,7 @@ from repro.compression.bitpack import BitpackCodec
 from repro.errors import StoreError
 from repro.replaystore.policies import EvictionPolicy
 from repro.replaystore.store import DEFAULT_SHARD_SAMPLES, ReplayStore
+from repro.seeding import default_rng
 
 __all__ = ["StreamingStoreBuilder", "SAMPLE_HEADER_BYTES"]
 
@@ -66,7 +67,7 @@ class StreamingStoreBuilder:
         self.generated_timesteps = int(generated_timesteps)
         self.insertion_layer = int(insertion_layer)
         self.codec_factor = int(codec_factor)
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng or default_rng()
         #: Kept set: per-slot (packed sample, label) — packed, so the
         #: builder's memory is ~budget_bytes irrespective of stream size.
         self._kept: list[tuple[np.ndarray, int]] = []
@@ -77,6 +78,7 @@ class StreamingStoreBuilder:
     # ------------------------------------------------------------------
     @property
     def kept_labels(self) -> list[int]:
+        """Labels of the current kept set, in slot order."""
         return [label for _, label in self._kept]
 
     @property

@@ -45,6 +45,7 @@ import numpy as np
 from repro import obs
 from repro.compression.bitpack import BitpackCodec
 from repro.errors import StoreError
+from repro.ioutil import atomic_write_json
 from repro.replaystore.builder import SAMPLE_HEADER_BYTES
 from repro.replaystore.policies import get_policy
 from repro.replaystore.store import INDEX_NAME, ReplayStore
@@ -221,9 +222,7 @@ class FederatedReplayStore:
             "rebalances": self.rebalances,
             "members": list(self.member_names),
         }
-        staging = self.root / (FEDERATION_INDEX_NAME + ".tmp")
-        staging.write_text(json.dumps(payload, indent=1) + "\n")
-        staging.replace(self.root / FEDERATION_INDEX_NAME)
+        atomic_write_json(self.root / FEDERATION_INDEX_NAME, payload)
 
     # ------------------------------------------------------------------
     # Membership
@@ -299,10 +298,12 @@ class FederatedReplayStore:
     # ------------------------------------------------------------------
     @property
     def num_members(self) -> int:
+        """Number of member stores in the federation."""
         return len(self.member_names)
 
     @property
     def num_samples(self) -> int:
+        """Total samples across every member store."""
         return sum(store.num_samples for _, store in self.members())
 
     @property
@@ -340,12 +341,14 @@ class FederatedReplayStore:
         return total
 
     def class_counts(self) -> dict[int, int]:
+        """Per-class sample counts aggregated over all members."""
         counts: dict[int, int] = {}
         for label in self.labels:
             counts[int(label)] = counts.get(int(label), 0) + 1
         return dict(sorted(counts.items()))
 
     def stats(self) -> FederationStats:
+        """Aggregate :class:`FederationStats` for reporting."""
         return FederationStats(
             num_members=self.num_members,
             num_samples=self.num_samples,
@@ -487,22 +490,27 @@ class FederatedReplayStream:
 
     @property
     def num_samples(self) -> int:
+        """Total samples across the member streams."""
         return int(self._bounds[-1])
 
     @property
     def timesteps(self) -> int:
+        """Generated timesteps per sample (uniform across members)."""
         return self.streams[0].timesteps
 
     @property
     def num_channels(self) -> int:
+        """Channels per sample (uniform across members)."""
         return self.streams[0].num_channels
 
     @property
     def shape(self) -> tuple[int, int, int]:
+        """Logical ``[T, n, C]`` shape of the concatenated stream."""
         return (self.timesteps, self.num_samples, self.num_channels)
 
     @property
     def labels(self) -> np.ndarray:
+        """Labels of every member stream, concatenated in member order."""
         return np.concatenate([s.labels for s in self.streams])
 
     @property

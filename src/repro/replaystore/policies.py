@@ -45,8 +45,11 @@ class EvictionPolicy:
         capacity: int,
         rng: np.random.Generator,
     ) -> int | None:
-        """Slot for the new sample (``len(kept_labels)`` appends,
-        anything lower evicts the occupant), or ``None`` to reject."""
+        """Pick a slot for the new sample, or ``None`` to reject it.
+
+        ``len(kept_labels)`` appends; anything lower evicts the
+        occupant of that slot.
+        """
         raise NotImplementedError
 
 
@@ -64,9 +67,11 @@ class FIFOPolicy(EvictionPolicy):
         self._next = 0
 
     def reset(self) -> None:
+        """Restart the insertion cursor for a fresh build."""
         self._next = 0
 
     def admit(self, label, kept_labels, capacity, rng) -> int | None:
+        """Admit into free slots, then overwrite the oldest slot."""
         if len(kept_labels) < capacity:
             return len(kept_labels)
         slot = self._next
@@ -88,9 +93,11 @@ class ReservoirPolicy(EvictionPolicy):
         self._seen = 0
 
     def reset(self) -> None:
+        """Forget the stream position for a fresh build."""
         self._seen = 0
 
     def admit(self, label, kept_labels, capacity, rng) -> int | None:
+        """Vitter reservoir sampling: admit with probability k/seen."""
         self._seen += 1
         if len(kept_labels) < capacity:
             return len(kept_labels)
@@ -115,9 +122,11 @@ class ClassBalancedPolicy(EvictionPolicy):
         self._class_seen: dict[int, int] = {}
 
     def reset(self) -> None:
+        """Clear the per-class arrival counters for a fresh build."""
         self._class_seen = {}
 
     def admit(self, label, kept_labels, capacity, rng) -> int | None:
+        """Per-class reservoir targeting equal slots per class."""
         label = int(label)
         self._class_seen[label] = self._class_seen.get(label, 0) + 1
         if len(kept_labels) < capacity:

@@ -135,6 +135,7 @@ class PrefetchingStream:
     # ------------------------------------------------------------------
     @property
     def num_samples(self) -> int:
+        """Sample count of the wrapped stream."""
         return self.stream.num_samples
 
     @property
@@ -144,14 +145,17 @@ class PrefetchingStream:
 
     @property
     def num_channels(self) -> int:
+        """Channel count of the wrapped stream."""
         return self.stream.num_channels
 
     @property
     def shape(self) -> tuple[int, int, int]:
+        """Logical ``[T, n, C]`` shape of the wrapped stream."""
         return self.stream.shape
 
     @property
     def labels(self) -> np.ndarray:
+        """Labels of the wrapped stream (re-raising worker errors)."""
         self._check_error()
         return self.stream.labels
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import StoreError
+from repro.ioutil import atomic_write_json
 from repro.replaystore.format import decode_shard, encode_shard, peek_header
 
 __all__ = ["StoreMeta", "ShardInfo", "StoreStats", "ReplayStore", "INDEX_NAME"]
@@ -94,6 +95,7 @@ class StoreStats:
 
     @property
     def bytes_per_sample(self) -> float:
+        """Mean packed payload bytes per stored sample."""
         return self.payload_bytes / self.num_samples if self.num_samples else 0.0
 
 
@@ -203,19 +205,19 @@ class ReplayStore:
                 for s in self.shards
             ],
         }
-        staging = self.root / (INDEX_NAME + ".tmp")
-        staging.write_text(json.dumps(payload, indent=1) + "\n")
-        staging.replace(self.root / INDEX_NAME)
+        atomic_write_json(self.root / INDEX_NAME, payload)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def num_shards(self) -> int:
+        """Number of shard files in the store."""
         return len(self.shards)
 
     @property
     def num_samples(self) -> int:
+        """Total samples across every shard."""
         return sum(s.num_samples for s in self.shards)
 
     @property
@@ -239,6 +241,7 @@ class ReplayStore:
         return total
 
     def stats(self) -> StoreStats:
+        """Aggregate :class:`StoreStats` over shards and classes."""
         codec_shards: dict[str, int] = {}
         class_counts: dict[int, int] = {}
         for shard in self.shards:

@@ -88,6 +88,7 @@ class ReplayStream:
     # ------------------------------------------------------------------
     @property
     def num_samples(self) -> int:
+        """Sample count pinned when the stream was opened."""
         return self._num_samples
 
     @property
@@ -99,14 +100,17 @@ class ReplayStream:
 
     @property
     def num_channels(self) -> int:
+        """Channels per sample, from the store metadata."""
         return self.store.meta.num_channels
 
     @property
     def shape(self) -> tuple[int, int, int]:
+        """Logical ``[T, n, C]`` shape of the streamed tensor."""
         return (self.timesteps, self.num_samples, self.num_channels)
 
     @property
     def labels(self) -> np.ndarray:
+        """Labels of the pinned snapshot (stale-stream checked)."""
         self._check_not_stale()
         return self.store.labels
 
@@ -212,6 +216,7 @@ class ConcatReplaySource:
 
     @property
     def shape(self) -> tuple[int, int, int]:
+        """Combined ``[T, n, C]`` shape of dense plus lazy samples."""
         return (
             self.dense.shape[0],
             self.dense.shape[1] + self.stream.num_samples,
@@ -219,6 +224,7 @@ class ConcatReplaySource:
         )
 
     def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Gather ``[T, k, C]`` columns, routing each index to its source."""
         indices = np.asarray(indices, dtype=np.int64)
         split = self.dense.shape[1]
         total = self.shape[1]

@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.core.strategies import EpochCost, NCLResult
 from repro.errors import DataError
+from repro.ioutil import atomic_open, atomic_write_json
 from repro.training.metrics import EpochRecord, TrainingHistory
 
 __all__ = [
@@ -211,10 +212,8 @@ class ScenarioCheckpoint:
             for layer, params in network.state_dict().items()
             for param, value in params.items()
         }
-        staging = self.root / (archive + ".tmp")
-        with open(staging, "wb") as handle:
+        with atomic_open(self.root / archive, "wb") as handle:
             np.savez(handle, **flat)
-        staging.replace(self.root / archive)
         digest = hashlib.sha256((self.root / archive).read_bytes()).hexdigest()
 
         manifest = {
@@ -231,9 +230,7 @@ class ScenarioCheckpoint:
             "network_sha256": digest,
             "federation": federation,
         }
-        staging = self.root / (MANIFEST_NAME + ".tmp")
-        staging.write_text(json.dumps(manifest, indent=1) + "\n")
-        staging.replace(self.root / MANIFEST_NAME)
+        atomic_write_json(self.root / MANIFEST_NAME, manifest)
 
         # Only now is the old archive unreachable; drop it (and any
         # strays an earlier crash left behind).

@@ -15,6 +15,8 @@ import hashlib
 
 import numpy as np
 
+from repro.errors import DataError
+
 __all__ = ["derive_seed", "spawn", "default_rng", "capture_rng", "restore_rng"]
 
 _MAX_SEED = 2**63 - 1
@@ -65,13 +67,13 @@ def restore_rng(state: dict) -> np.random.Generator:
     """Rebuild a generator from a :func:`capture_rng` snapshot.
 
     Raises:
-        ValueError: If the snapshot names an unknown bit-generator
+        DataError: If the snapshot names an unknown bit-generator
             algorithm.
     """
     name = state.get("bit_generator")
     algorithm = getattr(np.random, str(name), None)
     if algorithm is None or not isinstance(algorithm, type):
-        raise ValueError(f"unknown bit generator in rng snapshot: {name!r}")
+        raise DataError(f"unknown bit generator in rng snapshot: {name!r}")
     bit_generator = algorithm()
     bit_generator.state = state
     return np.random.Generator(bit_generator)

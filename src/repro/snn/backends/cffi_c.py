@@ -34,6 +34,7 @@ from shutil import which
 
 import numpy as np
 
+from repro.config import env_value
 from repro.snn.backends import numpy_ref
 from repro.snn.backends.base import SequenceExecutor, SweepSpec, register_backend
 
@@ -224,7 +225,7 @@ def kernel_source() -> str:
 
 
 def _cache_dir() -> str:
-    root = os.environ.get("REPRO_CACHE", os.path.join(".", ".repro_cache"))
+    root = env_value("REPRO_CACHE")
     return os.path.join(root, "ckernels")
 
 
@@ -331,7 +332,10 @@ class CffiExecutor(SequenceExecutor):
         the flags: such a toolchain silently demotes this backend to
         unavailable instead of corrupting trajectory reproducibility.
         """
-        rng = np.random.default_rng(0)
+        # The probe deliberately avoids repro.seeding: a broken toolchain
+        # must be diagnosed before this backend touches any repro module,
+        # and the fixed seed carries no experiment state.
+        rng = np.random.default_rng(0)  # repro-lint: disable=RPL001 -- fixed-seed toolchain probe, independent of experiment seeding
         for dtype in (np.float32, np.float64):
             ff = rng.standard_normal((5, 3, 4)).astype(dtype)
             w_rec = rng.standard_normal((4, 4)).astype(dtype) * dtype(0.3)

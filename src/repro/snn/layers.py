@@ -26,6 +26,7 @@ from repro.autograd.tensor import no_grad
 from repro.errors import ShapeError
 from repro.errors import ConfigError
 from repro.snn import kernels
+from repro.seeding import default_rng
 from repro.snn.init import dense_init, recurrent_init
 from repro.snn.neurons import LIFParameters, cuba_lif_step, lif_step
 from repro.snn.threshold import StaticThreshold, ThresholdController
@@ -89,7 +90,7 @@ class RecurrentLIFLayer:
         ff_gain: float | None = None,
         synapse_alpha: float | None = None,
     ):
-        rng = rng or np.random.default_rng()
+        rng = rng or default_rng()
         if synapse_alpha is not None and not 0.0 < synapse_alpha < 1.0:
             raise ConfigError(
                 f"synapse_alpha must lie in (0, 1) or be None, got {synapse_alpha}"
@@ -241,7 +242,7 @@ class LeakyReadout:
         name: str = "readout",
         readout_mode: str = "mean",
     ):
-        rng = rng or np.random.default_rng()
+        rng = rng or default_rng()
         if readout_mode not in self.READOUT_MODES:
             raise ShapeError(
                 f"readout_mode must be one of {self.READOUT_MODES}, got {readout_mode!r}"

@@ -20,6 +20,7 @@ import numpy as np
 from repro import obs
 from repro.data.loaders import DataLoader
 from repro.errors import ConfigError, TrainingError
+from repro.seeding import default_rng
 from repro.snn.network import SpikingNetwork
 from repro.snn.state import SpikeTrace
 from repro.snn.threshold import ThresholdController
@@ -74,7 +75,7 @@ class Trainer:
         self.network = network
         self.optimizer = optimizer
         self.config = config
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng or default_rng()
         self.controller = controller
         #: SpikeTraces of every forward pass, grouped per epoch — the raw
         #: material of the hardware latency/energy models.

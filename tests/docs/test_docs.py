@@ -7,7 +7,9 @@ Three guarantees:
 2. every runnable snippet under ``docs/snippets/`` executes cleanly
    (they are included verbatim into the rendered pages);
 3. every page the ``mkdocs.yml`` nav references exists, and every
-   declared flag is mentioned in both the docs reference and README.
+   declared flag is mentioned in both the docs reference and README;
+4. every registered lint rule (id and name) is documented in
+   ``docs/lint.md``, so the rule catalog cannot drift from the code.
 """
 
 import os
@@ -97,6 +99,32 @@ class TestSnippets:
         assert any(
             include in page.read_text() for page in DOCS.glob("*.md")
         ), f"{snippet.name} is not included by any docs page"
+
+
+class TestLintReference:
+    def test_every_rule_documented(self):
+        from repro.lint import all_rules
+
+        lint_md = (DOCS / "lint.md").read_text()
+        for rule in all_rules():
+            assert rule.id in lint_md, f"{rule.id} missing from docs/lint.md"
+            assert rule.name in lint_md, (
+                f"{rule.id} name {rule.name!r} missing from docs/lint.md"
+            )
+
+    def test_catalog_table_matches_registry(self):
+        from repro.lint import rule_ids
+
+        lint_md = (DOCS / "lint.md").read_text()
+        table_ids = re.findall(r"^\| `(RPL\d{3})` \|", lint_md, flags=re.MULTILINE)
+        assert table_ids == list(rule_ids()), (
+            "docs/lint.md rule table out of sync with the registry"
+        )
+
+    def test_readme_mentions_linter(self):
+        readme = (REPO / "README.md").read_text()
+        assert "repro lint" in readme
+        assert "docs/lint.md" in readme
 
 
 class TestSitePages:

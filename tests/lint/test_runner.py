@@ -1,0 +1,174 @@
+"""Runner, CLI surface, JSON schema, and the self-lint meta-test."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lint import (
+    format_json,
+    format_text,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.runner import JSON_SCHEMA_VERSION
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+FIRING_MODULE = dedent(
+    """
+    import numpy as np
+
+    def sample():
+        return np.random.default_rng().random()
+    """
+)
+
+CLEAN_MODULE = dedent(
+    """
+    from repro.seeding import default_rng
+
+    def sample(rng=None):
+        return (rng or default_rng()).random()
+    """
+)
+
+
+def repro_tree(tmp_path):
+    """A throwaway `repro/` package root so scoping globs engage."""
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    return pkg
+
+
+class TestLintPaths:
+    def test_directory_is_recursed_sorted(self, tmp_path):
+        pkg = repro_tree(tmp_path)
+        (pkg / "b.py").write_text(FIRING_MODULE)
+        sub = pkg / "core"
+        sub.mkdir()
+        (sub / "a.py").write_text(FIRING_MODULE)
+        findings = lint_paths([pkg])
+        assert [f.rule for f in findings] == ["RPL001", "RPL001"]
+        assert findings[0].path < findings[1].path
+
+    def test_explicit_file(self, tmp_path):
+        pkg = repro_tree(tmp_path)
+        target = pkg / "mod.py"
+        target.write_text(CLEAN_MODULE)
+        assert lint_paths([target]) == []
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(ConfigError, match="no such file"):
+            lint_paths([tmp_path / "nope"])
+
+    def test_unreadable_file_raises(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            lint_file(tmp_path / "missing.py")
+
+
+class TestFormatters:
+    def test_text_clean(self):
+        assert format_text([]) == "no findings"
+
+    def test_text_report_blocks(self, tmp_path):
+        pkg = repro_tree(tmp_path)
+        (pkg / "mod.py").write_text(FIRING_MODULE)
+        findings = lint_paths([pkg])
+        text = format_text(findings)
+        assert "RPL001" in text
+        assert text.endswith("1 finding(s)")
+        assert "fix:" in text
+
+    def test_json_schema(self, tmp_path):
+        pkg = repro_tree(tmp_path)
+        (pkg / "mod.py").write_text(FIRING_MODULE)
+        document = json.loads(format_json(lint_paths([pkg])))
+        assert document["version"] == JSON_SCHEMA_VERSION
+        assert document["count"] == 1
+        (finding,) = document["findings"]
+        assert set(finding) == {
+            "path",
+            "line",
+            "col",
+            "rule",
+            "message",
+            "suggestion",
+        }
+        assert finding["rule"] == "RPL001"
+        assert finding["line"] >= 1 and finding["col"] >= 1
+
+    def test_json_clean_document(self):
+        document = json.loads(format_json([]))
+        assert document == {
+            "version": JSON_SCHEMA_VERSION,
+            "count": 0,
+            "findings": [],
+        }
+
+
+class TestCli:
+    def run_cli(self, *argv, cwd):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "lint", *argv],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_exit_zero_and_text_on_clean_tree(self, tmp_path):
+        pkg = repro_tree(tmp_path)
+        (pkg / "mod.py").write_text(CLEAN_MODULE)
+        result = self.run_cli(str(pkg), cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "no findings"
+
+    def test_exit_two_on_findings(self, tmp_path):
+        pkg = repro_tree(tmp_path)
+        (pkg / "mod.py").write_text(FIRING_MODULE)
+        result = self.run_cli(str(pkg), cwd=tmp_path)
+        assert result.returncode == 2
+        assert "RPL001" in result.stdout
+
+    def test_json_format_flag(self, tmp_path):
+        pkg = repro_tree(tmp_path)
+        (pkg / "mod.py").write_text(FIRING_MODULE)
+        result = self.run_cli(str(pkg), "--format", "json", cwd=tmp_path)
+        assert result.returncode == 2
+        document = json.loads(result.stdout)
+        assert document["count"] == 1
+
+    def test_missing_path_is_cli_error(self, tmp_path):
+        result = self.run_cli(str(tmp_path / "nope"), cwd=tmp_path)
+        assert result.returncode == 2
+        assert "no such file" in result.stderr
+
+
+class TestSelfLint:
+    def test_src_repro_is_clean(self):
+        """The linter's own acceptance bar: src/repro lints clean.
+
+        Every pre-existing violation was either fixed or carries a
+        reasoned inline suppression, and this meta-test keeps it that
+        way — a new violation anywhere in src/repro fails tier-1.
+        """
+        findings = lint_paths([SRC / "repro"])
+        assert findings == [], format_text(findings)
+
+    def test_suppressions_in_tree_all_carry_reasons(self):
+        """Redundant belt: RPL000 would already fail the self-lint."""
+        for path in sorted((SRC / "repro").rglob("*.py")):
+            for finding in lint_file(path):
+                assert finding.rule != "RPL000", finding.format()
+
+    def test_linter_lints_itself(self):
+        """repro/lint's own sources stay in scope of every global rule."""
+        source = (SRC / "repro" / "lint" / "framework.py").read_text()
+        assert lint_source(source, path="src/repro/lint/framework.py") == []

@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.hw",
     "repro.eval",
     "repro.obs",
+    "repro.lint",
 ]
 
 

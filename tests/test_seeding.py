@@ -83,7 +83,8 @@ class TestRngCapture:
     def test_unknown_bit_generator_rejected(self):
         import pytest
 
+        from repro.errors import DataError
         from repro.seeding import restore_rng
 
-        with pytest.raises(ValueError, match="bit generator"):
+        with pytest.raises(DataError, match="bit generator"):
             restore_rng({"bit_generator": "NoSuchGenerator", "state": {}})
