@@ -18,6 +18,7 @@ import numpy as np
 from repro.data.datasets import SpikeDataset
 from repro.data.events import EventStream
 from repro.errors import DataError
+from repro.ioutil import atomic_open
 
 __all__ = ["save_dataset", "load_dataset"]
 
@@ -45,17 +46,18 @@ def save_dataset(dataset: SpikeDataset, path: str | Path) -> Path:
     if len(set(channel_counts.tolist())) != 1:
         raise DataError("all recordings must share one channel count")
 
-    np.savez_compressed(
-        path,
-        format_version=np.asarray(_FORMAT_VERSION),
-        times=times,
-        channels=channels,
-        offsets=offsets,
-        durations=durations,
-        labels=dataset.labels,
-        num_channels=np.asarray(channel_counts[0]),
-        num_classes=np.asarray(dataset.num_classes),
-    )
+    with atomic_open(path, "wb") as handle:
+        np.savez_compressed(
+            handle,
+            format_version=np.asarray(_FORMAT_VERSION),
+            times=times,
+            channels=channels,
+            offsets=offsets,
+            durations=durations,
+            labels=dataset.labels,
+            num_channels=np.asarray(channel_counts[0]),
+            num_classes=np.asarray(dataset.num_classes),
+        )
     return path
 
 

@@ -28,6 +28,7 @@ from repro.data.tasks import ClassIncrementalSplit, make_class_incremental
 from repro.errors import ConfigError
 from repro.eval.results import ExperimentResult
 from repro.eval.scale import ScalePreset, get_scale
+from repro.ioutil import atomic_open
 from repro.snn.network import SpikingNetwork
 from repro.training.metrics import TrainingHistory
 
@@ -125,7 +126,8 @@ def _store_pretrained(preset: ScalePreset, result: PretrainResult) -> None:
         for param, value in params.items()
     }
     flat["__test_accuracy__"] = np.asarray(result.test_accuracy)
-    np.savez(path, **flat)
+    with atomic_open(path, "wb") as handle:
+        np.savez(handle, **flat)
 
 
 def context(scale: str = "bench") -> ExperimentContext:

@@ -1,4 +1,4 @@
-"""The built-in rule catalog (``RPL000``–``RPL008``).
+"""The built-in rule catalog (``RPL000``–``RPL009``).
 
 Each rule encodes one invariant the reproduction's tests rely on but
 could not previously enforce globally; ``docs/lint.md`` carries the
@@ -23,6 +23,7 @@ __all__ = [
     "LazyStepsRule",
     "FrozenSpecRule",
     "NoPrintRule",
+    "NumpySaveRule",
 ]
 
 
@@ -438,3 +439,81 @@ class NoPrintRule(Rule):
                 "return the text to the CLI layer or record it via "
                 "repro.obs spans/metrics",
             )
+
+
+@register
+class NumpySaveRule(Rule):
+    """RPL009: ``np.save*`` must write through an ``atomic_open`` handle."""
+
+    id = "RPL009"
+    name = "atomic-numpy-save"
+    rationale = (
+        "np.save/np.savez/np.savez_compressed given a *path* open and "
+        "truncate the final file themselves, bypassing the write-then-"
+        "atomic-rename protocol that RPL004 enforces for text/json — a "
+        "crash mid-save leaves a torn archive at the committed name "
+        "(np.load then fails on what looks like a valid checkpoint or "
+        "dataset).  Passing an open file object instead routes the bytes "
+        "wherever the caller says, so the blessed pattern is "
+        "`with atomic_open(path, 'wb') as handle: np.savez(handle, ...)` "
+        "— the rename commits only a complete archive."
+    )
+    node_types = (ast.Call,)
+
+    _BANNED = frozenset(
+        {"numpy.save", "numpy.savez", "numpy.savez_compressed"}
+    )
+    _ATOMIC_OPENERS = frozenset(
+        {"repro.ioutil.atomic_open", "atomic_open"}
+    )
+
+    def _atomic_handles(self, ctx: LintContext) -> frozenset[str]:
+        """Names bound by ``with atomic_open(...) as NAME`` in this file.
+
+        Computed once per file and cached on the context; a name is only
+        as trustworthy as the binding site, which is why the check is
+        per-file not per-scope — good enough to catch path-passing while
+        never flagging the blessed pattern.
+        """
+        cached = getattr(ctx, "_rpl009_handles", None)
+        if cached is not None:
+            return cached
+        handles = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                call = item.context_expr
+                if not isinstance(call, ast.Call):
+                    continue
+                resolved = ctx.resolve(call.func)
+                if resolved is None and isinstance(call.func, ast.Name):
+                    resolved = call.func.id
+                if resolved not in self._ATOMIC_OPENERS:
+                    continue
+                target = item.optional_vars
+                if isinstance(target, ast.Name):
+                    handles.add(target.id)
+        ctx._rpl009_handles = frozenset(handles)
+        return ctx._rpl009_handles
+
+    def check(self, node: ast.Call, ctx: LintContext) -> None:
+        """Flag ``np.save*`` calls whose destination is not a handle."""
+        full = ctx.resolve(node.func)
+        if full not in self._BANNED:
+            return
+        destination = node.args[0] if node.args else None
+        for keyword in node.keywords:
+            if keyword.arg == "file":
+                destination = keyword.value
+        if isinstance(destination, ast.Name) and destination.id in (
+            self._atomic_handles(ctx)
+        ):
+            return
+        ctx.report(
+            self,
+            node,
+            f"{full}() writes (and truncates) the destination path itself",
+            "open the destination with repro.ioutil.atomic_open(path, "
+            "'wb') and pass the handle to the save call",
+        )

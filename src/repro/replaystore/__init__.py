@@ -44,6 +44,7 @@ from repro.replaystore.store import (
     StoreStats,
 )
 from repro.replaystore.prefetch import PrefetchingStream, prefetch_enabled
+from repro.replaystore.service import ReplayService, ServiceStats
 from repro.replaystore.stream import ConcatReplaySource, ReplayStream
 
 __all__ = [
@@ -73,4 +74,6 @@ __all__ = [
     "FederatedReplayStore",
     "FederatedReplayStream",
     "FederationStats",
+    "ReplayService",
+    "ServiceStats",
 ]

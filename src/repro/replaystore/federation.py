@@ -37,15 +37,18 @@ from __future__ import annotations
 
 import json
 import shutil
+from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable, Iterator
 
 import numpy as np
 
 from repro import obs
 from repro.compression.bitpack import BitpackCodec
 from repro.errors import StoreError
-from repro.ioutil import atomic_write_json
+from repro.ioutil import FileLock, atomic_write_json
 from repro.replaystore.builder import SAMPLE_HEADER_BYTES
 from repro.replaystore.policies import get_policy
 from repro.replaystore.store import INDEX_NAME, ReplayStore
@@ -54,13 +57,24 @@ from repro.seeding import spawn
 
 __all__ = [
     "FEDERATION_INDEX_NAME",
+    "FEDERATION_LOCK_NAME",
+    "DEFAULT_OPEN_MEMBERS",
     "FederationStats",
     "FederatedReplayStore",
     "FederatedReplayStream",
 ]
 
 FEDERATION_INDEX_NAME = "federation.json"
+#: Lock file guarding federation-index read-modify-write (a stable
+#: inode; the index itself is renamed on every commit).
+FEDERATION_LOCK_NAME = "federation.json.lock"
 FEDERATION_VERSION = 1
+
+#: Default cap on simultaneously open member handles/streams.  Member
+#: indexes are small, but a fleet-scale federation has thousands of
+#: members — opening them all eagerly is exactly what the lazy path
+#: exists to avoid.
+DEFAULT_OPEN_MEMBERS = 8
 
 
 @dataclass(frozen=True)
@@ -95,7 +109,15 @@ class FederatedReplayStore:
         policy: str,
         seed: int,
         rebalances: int = 0,
+        pending_removal: list[str] | None = None,
+        member_samples: dict[str, int] | None = None,
+        geometry: dict | None = None,
+        max_open_members: int = DEFAULT_OPEN_MEMBERS,
     ):
+        if max_open_members < 1:
+            raise StoreError(
+                f"max_open_members must be >= 1, got {max_open_members}"
+            )
         self.root = Path(root)
         self.member_names = list(member_names)
         self.budget_bytes = None if budget_bytes is None else int(budget_bytes)
@@ -104,7 +126,53 @@ class FederatedReplayStore:
         #: Count of completed rebalance passes; keys the rebalance RNG so
         #: repeated passes stay deterministic yet independent.
         self.rebalances = int(rebalances)
-        self._members: dict[str, ReplayStore] = {}
+        #: Member dirs an interrupted ``create(overwrite=True)`` still
+        #: owes a removal — the crash ledger :meth:`adopt` consults so a
+        #: stale dir is never silently re-registered as fresh latents.
+        self.pending_removal = list(pending_removal or [])
+        #: Per-member sample counts, maintained by :meth:`adopt` and
+        #: :meth:`rebalance`, so :meth:`stream` can lay out the global
+        #: index space without opening a single member.
+        self.member_samples: dict[str, int] = dict(member_samples or {})
+        #: Latent geometry shared by every member (persisted at first
+        #: adopt); lets :meth:`adopt` validate and :meth:`stream` plan
+        #: lazily, again without opening a reference member.
+        self.geometry = dict(geometry) if geometry else None
+        self.max_open_members = int(max_open_members)
+        self._members: OrderedDict[str, ReplayStore] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Locking
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _locked(self):
+        """Exclusive advisory lock over federation-index mutation."""
+        lock = FileLock(self.root / FEDERATION_LOCK_NAME)
+        lock.acquire()
+        try:
+            yield lock
+        finally:
+            lock.release()
+
+    def _reload(self) -> None:
+        """Refresh this handle from the on-disk index (under the lock).
+
+        Mutating ops reload before modifying so read-modify-write cycles
+        from concurrent handles compose; a handle whose index vanished
+        gets a clean :class:`~repro.errors.StoreError`.
+        """
+        fresh = type(self).open(self.root, max_open_members=self.max_open_members)
+        self.member_names = fresh.member_names
+        self.budget_bytes = fresh.budget_bytes
+        self.policy = fresh.policy
+        self.seed = fresh.seed
+        self.rebalances = fresh.rebalances
+        self.pending_removal = fresh.pending_removal
+        self.member_samples = fresh.member_samples
+        self.geometry = fresh.geometry
+        # Cached handles may predate another handle's commit; drop them
+        # so the next access reopens against the current member state.
+        self._members.clear()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -122,38 +190,50 @@ class FederatedReplayStore:
         """Initialise an empty federation directory."""
         root = Path(root)
         index_path = root / FEDERATION_INDEX_NAME
-        if index_path.exists() and not overwrite:
-            raise StoreError(
-                f"federation already exists at {root} "
-                "(pass overwrite=True to replace)"
-            )
         if budget_bytes is not None and budget_bytes <= 0:
             raise StoreError(f"budget_bytes must be positive, got {budget_bytes}")
         get_policy(policy)  # validate the name up front
-        # Overwrite must take the old run's member stores with it:
-        # leaving them on disk would let a later auto-discovering
-        # `adopt` silently mix stale latents into the new archive.
-        old_names: list[str] = []
-        if index_path.exists():
-            try:
-                old_names = cls.open(root).member_names
-            except StoreError:
-                old_names = []  # corrupt index: replace it, keep the dirs
-        root.mkdir(parents=True, exist_ok=True)
         federation = cls(root, [], budget_bytes, policy, seed)
-        # Atomic index rename is the commit point; member removal comes
-        # after, so a crash mid-overwrite leaves an empty federation
-        # plus orphaned directories — never an index pointing at
-        # deleted stores (same discipline as ReplayStore.compact).
-        federation._write_index()
-        for name in old_names:
-            member_dir = root / name
-            if member_dir.is_dir():
-                shutil.rmtree(member_dir)
+        with federation._locked():
+            if index_path.exists() and not overwrite:
+                raise StoreError(
+                    f"federation already exists at {root} "
+                    "(pass overwrite=True to replace)"
+                )
+            # Overwrite must take the old run's member stores with it:
+            # leaving them on disk would let a later `adopt` silently mix
+            # stale latents into the new archive.
+            old_names: list[str] = []
+            if index_path.exists():
+                try:
+                    previous = cls.open(root)
+                    old_names = previous.member_names + previous.pending_removal
+                except StoreError:
+                    old_names = []  # corrupt index: replace it, keep the dirs
+            root.mkdir(parents=True, exist_ok=True)
+            # Two-phase overwrite: commit an index that *records* the old
+            # member dirs as pending removal, remove them, then commit
+            # again with the ledger cleared.  A crash in the removal
+            # window leaves an empty federation whose ledger still names
+            # every orphan dir — adopt refuses them until the caller
+            # acknowledges (allow_orphan=True) or create runs again.
+            federation.pending_removal = list(old_names)
+            federation._write_index()
+            for name in old_names:
+                member_dir = root / name
+                if member_dir.is_dir():
+                    shutil.rmtree(member_dir)
+            federation.pending_removal = []
+            federation._write_index()
         return federation
 
     @classmethod
-    def open(cls, root: str | Path) -> "FederatedReplayStore":
+    def open(
+        cls,
+        root: str | Path,
+        *,
+        max_open_members: int = DEFAULT_OPEN_MEMBERS,
+    ) -> "FederatedReplayStore":
         """Load an existing federation from its index."""
         root = Path(root)
         index_path = root / FEDERATION_INDEX_NAME
@@ -163,7 +243,7 @@ class FederatedReplayStore:
             )
         try:
             payload = json.loads(index_path.read_text())
-        except json.JSONDecodeError as error:
+        except (OSError, json.JSONDecodeError) as error:
             raise StoreError(
                 f"corrupt federation index at {index_path}: {error}"
             ) from error
@@ -179,6 +259,13 @@ class FederatedReplayStore:
                 payload["policy"],
                 int(payload["seed"]),
                 rebalances=int(payload.get("rebalances", 0)),
+                pending_removal=list(payload.get("pending_removal", [])),
+                member_samples={
+                    str(k): int(v)
+                    for k, v in payload.get("member_samples", {}).items()
+                },
+                geometry=payload.get("geometry"),
+                max_open_members=max_open_members,
             )
         except (KeyError, TypeError) as error:
             raise StoreError(
@@ -199,18 +286,21 @@ class FederatedReplayStore:
         them).  This is how ``repro store federate`` retrofits a budget
         onto a federation created without one.
         """
-        if budget_bytes is not None:
-            if budget_bytes <= 0:
-                raise StoreError(
-                    f"budget_bytes must be positive, got {budget_bytes}"
-                )
-            self.budget_bytes = int(budget_bytes)
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise StoreError(
+                f"budget_bytes must be positive, got {budget_bytes}"
+            )
         if policy is not None:
             get_policy(policy)  # validate the name
-            self.policy = policy
-        if seed is not None:
-            self.seed = int(seed)
-        self._write_index()
+        with self._locked():
+            self._reload()
+            if budget_bytes is not None:
+                self.budget_bytes = int(budget_bytes)
+            if policy is not None:
+                self.policy = policy
+            if seed is not None:
+                self.seed = int(seed)
+            self._write_index()
 
     def _write_index(self) -> None:
         """Atomically replace the index (write-to-temp + rename)."""
@@ -221,6 +311,11 @@ class FederatedReplayStore:
             "seed": self.seed,
             "rebalances": self.rebalances,
             "members": list(self.member_names),
+            "pending_removal": list(self.pending_removal),
+            "member_samples": {
+                name: int(count) for name, count in self.member_samples.items()
+            },
+            "geometry": self.geometry,
         }
         atomic_write_json(self.root / FEDERATION_INDEX_NAME, payload)
 
@@ -228,69 +323,114 @@ class FederatedReplayStore:
     # Membership
     # ------------------------------------------------------------------
     def member(self, name: str) -> ReplayStore:
-        """The named member store (opened lazily, cached)."""
+        """The named member store (opened lazily, LRU-capped cache).
+
+        At most :attr:`max_open_members` handles stay cached; the least
+        recently used is dropped when the cap is hit (a
+        :class:`~repro.replaystore.store.ReplayStore` handle is just a
+        parsed index — dropping it costs a reopen, nothing else).
+        """
         if name not in self.member_names:
             raise StoreError(
                 f"{name!r} is not a member of the federation at {self.root}"
             )
-        if name not in self._members:
-            self._members[name] = ReplayStore.open(self.root / name)
-        return self._members[name]
+        if name in self._members:
+            self._members.move_to_end(name)
+            return self._members[name]
+        while len(self._members) >= self.max_open_members:
+            self._members.popitem(last=False)
+        store = ReplayStore.open(self.root / name)
+        self._members[name] = store
+        return store
 
-    def members(self) -> list[tuple[str, ReplayStore]]:
-        """All member stores in registration (task-arrival) order."""
-        return [(name, self.member(name)) for name in self.member_names]
+    def members(self) -> Iterator[tuple[str, ReplayStore]]:
+        """Member stores in registration (task-arrival) order, lazily.
 
-    def adopt(self, name: str) -> ReplayStore:
+        A generator: members open one at a time through the LRU cache,
+        so iterating a thousand-member federation never holds a thousand
+        parsed indexes at once.
+        """
+        for name in self.member_names:
+            yield name, self.member(name)
+
+    @staticmethod
+    def _geometry_of(store: ReplayStore) -> dict:
+        """The meta fields every member must agree on."""
+        return {
+            "stored_frames": store.meta.stored_frames,
+            "num_channels": store.meta.num_channels,
+            "codec_factor": store.meta.codec_factor,
+            "insertion_layer": store.meta.insertion_layer,
+            "generated_timesteps": store.meta.generated_timesteps,
+        }
+
+    def adopt(self, name: str, *, allow_orphan: bool = False) -> ReplayStore:
         """Register the store at ``root/name`` as the next member.
 
         The store must already exist (e.g. written by a store-backed NCL
         step) and must share the federation's latent geometry — a
         federation composes stores of *one* insertion point, so mixed
         frame/channel geometry is a caller bug, not a mergeable state.
+
+        A name on the :attr:`pending_removal` ledger is a directory an
+        interrupted ``create(overwrite=True)`` failed to delete: its
+        contents predate the current federation, so adopting it would
+        silently resurrect stale latents.  Such names are refused unless
+        the caller passes ``allow_orphan=True`` to explicitly claim the
+        old data (which also clears the ledger entry).
         """
         if not name or "/" in name or "\\" in name or name in (".", ".."):
             raise StoreError(
                 f"member name must be a plain directory name, got {name!r}"
             )
-        if name in self.member_names:
-            raise StoreError(f"{name!r} is already a member of the federation")
-        path = self.root / name
-        if not (path / INDEX_NAME).exists():
-            raise StoreError(f"no replay store to adopt at {path}")
-        store = ReplayStore.open(path)
-        if self.member_names:
-            reference = self.member(self.member_names[0])
-            # Insertion layer and generation timesteps are part of the
-            # geometry: stores from different insertion points can share
-            # frame/channel counts (equal-width hidden layers) yet live
-            # in different feature spaces — federating them would serve
-            # semantically mixed replay data with no error.
-            same = (
-                store.meta.stored_frames == reference.meta.stored_frames
-                and store.meta.num_channels == reference.meta.num_channels
-                and store.meta.codec_factor == reference.meta.codec_factor
-                and store.meta.insertion_layer == reference.meta.insertion_layer
-                and store.meta.generated_timesteps
-                == reference.meta.generated_timesteps
-            )
-            if not same:
+        with self._locked():
+            self._reload()
+            if name in self.member_names:
+                raise StoreError(f"{name!r} is already a member of the federation")
+            if name in self.pending_removal and not allow_orphan:
+                raise StoreError(
+                    f"cannot adopt {name!r}: the directory predates this "
+                    "federation (an interrupted overwrite left it behind) "
+                    "and holds stale latents; pass allow_orphan=True to "
+                    "claim it anyway, or delete the directory"
+                )
+            path = self.root / name
+            if not (path / INDEX_NAME).exists():
+                raise StoreError(f"no replay store to adopt at {path}")
+            store = ReplayStore.open(path)
+            geometry = self._geometry_of(store)
+            reference = self.geometry
+            if reference is None and self.member_names:
+                # Pre-ledger federation index: fall back to a member open.
+                reference = self._geometry_of(self.member(self.member_names[0]))
+            if reference is not None and geometry != reference:
+                # Insertion layer and generation timesteps are part of
+                # the geometry: stores from different insertion points
+                # can share frame/channel counts (equal-width hidden
+                # layers) yet live in different feature spaces —
+                # federating them would serve semantically mixed replay
+                # data with no error.
                 raise StoreError(
                     f"cannot adopt {name!r}: geometry "
-                    f"(T={store.meta.stored_frames}, "
-                    f"C={store.meta.num_channels}, "
-                    f"factor={store.meta.codec_factor}, "
-                    f"Lins={store.meta.insertion_layer}, "
-                    f"Tgen={store.meta.generated_timesteps}) does not match "
-                    f"the federation's (T={reference.meta.stored_frames}, "
-                    f"C={reference.meta.num_channels}, "
-                    f"factor={reference.meta.codec_factor}, "
-                    f"Lins={reference.meta.insertion_layer}, "
-                    f"Tgen={reference.meta.generated_timesteps})"
+                    f"(T={geometry['stored_frames']}, "
+                    f"C={geometry['num_channels']}, "
+                    f"factor={geometry['codec_factor']}, "
+                    f"Lins={geometry['insertion_layer']}, "
+                    f"Tgen={geometry['generated_timesteps']}) does not match "
+                    f"the federation's (T={reference['stored_frames']}, "
+                    f"C={reference['num_channels']}, "
+                    f"factor={reference['codec_factor']}, "
+                    f"Lins={reference['insertion_layer']}, "
+                    f"Tgen={reference['generated_timesteps']})"
                 )
-        self.member_names.append(name)
-        self._members[name] = store
-        self._write_index()
+            if self.geometry is None:
+                self.geometry = geometry
+            if name in self.pending_removal:
+                self.pending_removal.remove(name)
+            self.member_names.append(name)
+            self.member_samples[name] = store.num_samples
+            self._members[name] = store
+            self._write_index()
         return store
 
     # ------------------------------------------------------------------
@@ -319,8 +459,12 @@ class FederatedReplayStore:
         """Modelled bytes per stored sample (builder's budget model)."""
         if not self.member_names:
             raise StoreError("an empty federation has no sample geometry")
-        meta = self.member(self.member_names[0]).meta
-        packed = BitpackCodec().packed_bytes((meta.stored_frames, meta.num_channels))
+        geometry = self.geometry
+        if geometry is None:  # pre-ledger index: open the first member
+            geometry = self._geometry_of(self.member(self.member_names[0]))
+        packed = BitpackCodec().packed_bytes(
+            (geometry["stored_frames"], geometry["num_channels"])
+        )
         return packed + SAMPLE_HEADER_BYTES
 
     def model_bytes(self) -> int:
@@ -385,17 +529,25 @@ class FederatedReplayStore:
         from the federation seed and the rebalance counter.  A no-op
         (returns 0) when unbudgeted or already within budget.
         """
-        if not self.over_budget():
-            return 0
-        with obs.span(
-            "federation.rebalance", category="store", members=self.num_members
-        ) as _span:
-            evicted = self._rebalance(_span)
+        with self._locked():
+            self._reload()
+            if not self.over_budget():
+                return 0
+            with obs.span(
+                "federation.rebalance", category="store", members=self.num_members
+            ) as _span:
+                evicted = self._rebalance(_span)
         obs.count("federation.evictions", evicted)
         return evicted
 
     def _rebalance(self, _span) -> int:
-        """The budget-enforcement pass :meth:`rebalance` wraps in a span."""
+        """The budget-enforcement pass :meth:`rebalance` wraps in a span.
+
+        Runs under the federation lock with a freshly reloaded index.
+        Member rewrites take each member's own store lock in turn, so a
+        rebalance serializes against direct appends to individual
+        members without holding every member lock at once.
+        """
         capacity = self.budget_bytes // self.sample_bytes
         if capacity < 1:
             raise StoreError(
@@ -429,6 +581,7 @@ class FederatedReplayStore:
                 dtype=np.int64,
             )
             evicted += store.filter(survivors)
+            self.member_samples[name] = store.num_samples
         self.rebalances += 1
         self._write_index()
         _span.set(evicted=evicted)
@@ -438,19 +591,75 @@ class FederatedReplayStore:
     # Composed view
     # ------------------------------------------------------------------
     def stream(
-        self, decompress: bool = False, cache_shards: int = 2
+        self,
+        decompress: bool = False,
+        cache_shards: int = 2,
+        max_open_streams: int | None = None,
+        prefetch: bool = False,
     ) -> "FederatedReplayStream":
-        """Lazy class-spanning view over every member's samples."""
-        streams = [
-            ReplayStream(store, decompress=decompress, cache_shards=cache_shards)
-            for name, store in self.members()
-            if store.num_samples > 0
-        ]
-        if not streams:
+        """Lazy class-spanning view over every member's samples.
+
+        Fully lazy end to end: the global index layout comes from the
+        persisted per-member sample counts (falling back to one
+        index-only open per member for pre-ledger federations), and a
+        member's :class:`~repro.replaystore.stream.ReplayStream` is only
+        opened when a gather first touches it — at most
+        ``max_open_streams`` (default :attr:`max_open_members`) member
+        streams stay open at once.  ``prefetch=True`` wraps each opened
+        member in a :class:`~repro.replaystore.prefetch.PrefetchingStream`.
+        """
+        geometry = self.geometry
+        if geometry is None and self.member_names:
+            geometry = self._geometry_of(self.member(self.member_names[0]))
+        counts: list[tuple[str, int]] = []
+        for name in self.member_names:
+            if name in self.member_samples:
+                counts.append((name, self.member_samples[name]))
+            else:  # pre-ledger index: index-only open, one at a time
+                counts.append((name, self.member(name).num_samples))
+        entries = [(name, count) for name, count in counts if count > 0]
+        if not entries:
             raise StoreError(
                 f"federation at {self.root} holds no samples to stream"
             )
-        return FederatedReplayStream(streams)
+        assert geometry is not None  # non-empty federation has geometry
+        if not decompress and geometry["codec_factor"] != 1:
+            raise StoreError(
+                "cannot stream subsampled frames without decompression: "
+                f"store codec factor is {geometry['codec_factor']}"
+            )
+        root = self.root
+
+        def opener(name: str) -> ReplayStream | "PrefetchingStream":
+            stream = ReplayStream(
+                ReplayStore.open(root / name),
+                decompress=decompress,
+                cache_shards=cache_shards,
+            )
+            if prefetch:
+                from repro.replaystore.prefetch import PrefetchingStream
+
+                return PrefetchingStream(stream)
+            return stream
+
+        timesteps = (
+            geometry["generated_timesteps"]
+            if decompress
+            else geometry["stored_frames"]
+        )
+        return FederatedReplayStream.lazy(
+            openers=[
+                (lambda name=name: opener(name)) for name, _count in entries
+            ],
+            counts=[count for _name, count in entries],
+            timesteps=timesteps,
+            num_channels=geometry["num_channels"],
+            max_open_streams=(
+                self.max_open_members
+                if max_open_streams is None
+                else max_open_streams
+            ),
+        )
 
     def __repr__(self) -> str:
         return (
@@ -467,7 +676,15 @@ class FederatedReplayStream:
     ``gather`` / ``labels`` / shard iteration), with indices routed to
     members by global arrival order — so a federation trains exactly
     like one big store while peak resident memory stays
-    ``cache_shards`` decoded shards *per member stream*.
+    ``cache_shards`` decoded shards per *open* member stream.
+
+    Member streams are lazy: constructed via :meth:`lazy` (the
+    :meth:`FederatedReplayStore.stream` path), a member is only opened
+    when a gather first touches it, and at most ``max_open_streams``
+    stay open — the least recently used is closed (its reader pin
+    released) when the cap is hit.  The plain constructor takes
+    already-open streams and never evicts them (an evicted pre-built
+    stream could not be reopened).
     """
 
     def __init__(self, streams: list[ReplayStream]):
@@ -484,10 +701,142 @@ class FederatedReplayStream:
                     f"[T={first.timesteps}, C={first.num_channels}] vs "
                     f"[T={stream.timesteps}, C={stream.num_channels}]"
                 )
-        self.streams = list(streams)
-        bounds = np.cumsum([s.num_samples for s in self.streams])
+        self._init(
+            openers=[(lambda s=s: s) for s in streams],
+            counts=[s.num_samples for s in streams],
+            timesteps=first.timesteps,
+            num_channels=first.num_channels,
+            max_open_streams=len(streams),
+            preopened=list(streams),
+        )
+
+    @classmethod
+    def lazy(
+        cls,
+        openers: list[Callable[[], ReplayStream]],
+        counts: list[int],
+        timesteps: int,
+        num_channels: int,
+        max_open_streams: int = DEFAULT_OPEN_MEMBERS,
+    ) -> "FederatedReplayStream":
+        """Build a stream whose members open on first gather.
+
+        ``openers[i]`` must return a fresh stream over member ``i``
+        holding exactly ``counts[i]`` samples; a mismatch at open time
+        (the member was mutated after the layout was taken) raises
+        :class:`~repro.errors.StoreError` instead of misrouting indices.
+        """
+        if not openers:
+            raise StoreError("FederatedReplayStream needs at least one stream")
+        if len(openers) != len(counts):
+            raise StoreError(
+                f"{len(openers)} openers but {len(counts)} member counts"
+            )
+        if max_open_streams < 1:
+            raise StoreError(
+                f"max_open_streams must be >= 1, got {max_open_streams}"
+            )
+        self = cls.__new__(cls)
+        self._init(
+            openers=list(openers),
+            counts=[int(c) for c in counts],
+            timesteps=int(timesteps),
+            num_channels=int(num_channels),
+            max_open_streams=int(max_open_streams),
+            preopened=None,
+        )
+        return self
+
+    def _init(
+        self,
+        openers: list[Callable[[], ReplayStream]],
+        counts: list[int],
+        timesteps: int,
+        num_channels: int,
+        max_open_streams: int,
+        preopened: list[ReplayStream] | None,
+    ) -> None:
+        self._openers = openers
+        self._counts = counts
+        self._timesteps = timesteps
+        self._num_channels = num_channels
+        self.max_open_streams = max(1, max_open_streams)
+        self._open: OrderedDict[int, ReplayStream] = OrderedDict()
+        if preopened is not None:
+            self._open.update(enumerate(preopened))
+        #: Member streams opened over this view's lifetime (telemetry;
+        #: the concurrency tests assert the LRU cap from it).
+        self.member_opens = len(self._open)
+        # Peaks of already-closed member streams, so peak_cache_bytes
+        # survives eviction.
+        self._retired_peak_bytes = 0
+        bounds = np.cumsum(counts)
         self._bounds = np.concatenate([[0], bounds]).astype(np.int64)
 
+    # ------------------------------------------------------------------
+    # Member stream lifecycle
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _close_stream(stream) -> None:
+        """Close a member view and its wrapped stream (pin release)."""
+        stream.close()
+        inner = getattr(stream, "stream", None)
+        if inner is not None and hasattr(inner, "close"):
+            inner.close()  # PrefetchingStream wraps the pinned stream
+
+    def _stream(self, member: int) -> ReplayStream:
+        """Member stream ``member``, opening (and LRU-evicting) as needed."""
+        if member in self._open:
+            self._open.move_to_end(member)
+            return self._open[member]
+        while len(self._open) >= self.max_open_streams:
+            _, victim = self._open.popitem(last=False)
+            self._retired_peak_bytes += victim.peak_cache_bytes
+            self._close_stream(victim)
+        stream = self._openers[member]()
+        if stream.num_samples != self._counts[member]:
+            self._close_stream(stream)
+            raise StoreError(
+                f"store was mutated: member {member} now holds "
+                f"{stream.num_samples} samples, this view was laid out "
+                f"for {self._counts[member]}; open a fresh stream"
+            )
+        if (
+            stream.timesteps != self._timesteps
+            or stream.num_channels != self._num_channels
+        ):
+            self._close_stream(stream)
+            raise StoreError(
+                f"member streams disagree on geometry: "
+                f"[T={self._timesteps}, C={self._num_channels}] vs "
+                f"[T={stream.timesteps}, C={stream.num_channels}]"
+            )
+        self._open[member] = stream
+        self.member_opens += 1
+        obs.count("federation.member_opens")
+        return stream
+
+    @property
+    def open_streams(self) -> int:
+        """Member streams currently open (bounded by the LRU cap)."""
+        return len(self._open)
+
+    def close(self) -> None:
+        """Close every open member stream (releasing reader pins)."""
+        while self._open:
+            _, stream = self._open.popitem(last=False)
+            self._retired_peak_bytes += stream.peak_cache_bytes
+            self._close_stream(stream)
+
+    def __enter__(self) -> "FederatedReplayStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Lazy-source protocol
+    # ------------------------------------------------------------------
     @property
     def num_samples(self) -> int:
         """Total samples across the member streams."""
@@ -496,12 +845,12 @@ class FederatedReplayStream:
     @property
     def timesteps(self) -> int:
         """Generated timesteps per sample (uniform across members)."""
-        return self.streams[0].timesteps
+        return self._timesteps
 
     @property
     def num_channels(self) -> int:
         """Channels per sample (uniform across members)."""
-        return self.streams[0].num_channels
+        return self._num_channels
 
     @property
     def shape(self) -> tuple[int, int, int]:
@@ -510,19 +859,28 @@ class FederatedReplayStream:
 
     @property
     def labels(self) -> np.ndarray:
-        """Labels of every member stream, concatenated in member order."""
-        return np.concatenate([s.labels for s in self.streams])
+        """Labels of every member stream, concatenated in member order.
+
+        Opens members one at a time through the LRU, so even the full
+        label sweep never exceeds the open-handle cap.
+        """
+        return np.concatenate(
+            [self._stream(i).labels for i in range(len(self._counts))]
+        )
 
     @property
     def peak_cache_bytes(self) -> int:
         """Upper bound on decoded-shard residency across member streams.
 
-        Member LRU caches are resident *simultaneously*, so the
-        federated high-water mark is the sum of the members' peaks (a
+        Open member LRU caches are resident *simultaneously*, so the
+        federated high-water mark is the sum of the members' peaks
+        (closed members contribute the peak they retired with).  A
         bound, not an exact joint maximum: members need not peak at the
-        same instant).
+        same instant.
         """
-        return sum(s.peak_cache_bytes for s in self.streams)
+        return self._retired_peak_bytes + sum(
+            s.peak_cache_bytes for s in self._open.values()
+        )
 
     def gather(self, indices: np.ndarray) -> np.ndarray:
         """Decode the requested samples into a ``[T, k, C]`` raster.
@@ -550,13 +908,42 @@ class FederatedReplayStream:
             for member in np.unique(member_of):
                 mask = member_of == member
                 local = indices[mask] - self._bounds[member]
-                out[:, mask, :] = self.streams[int(member)].gather(local)
+                out[:, mask, :] = self._stream(int(member)).gather(local)
         return out
+
+    def prefetch(self, indices: np.ndarray) -> int:
+        """Advise members that ``indices`` are needed soon (advisory).
+
+        Routed like :meth:`gather`; members whose view cannot prefetch
+        (plain :class:`ReplayStream`) and out-of-range advice are
+        skipped.  Only already-open members are advised — warming a
+        member would force an open the caller never committed to.
+        Returns the number of shard decodes actually queued.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        valid = (indices >= 0) & (indices < self.num_samples)
+        if not np.all(valid):
+            obs.count(
+                "prefetch.bogus_advice", int(np.count_nonzero(~valid))
+            )
+            indices = indices[valid]
+        if indices.size == 0:
+            return 0
+        member_of = np.searchsorted(self._bounds, indices, side="right") - 1
+        queued = 0
+        for member in np.unique(member_of):
+            stream = self._open.get(int(member))
+            hook = getattr(stream, "prefetch", None)
+            if hook is None:
+                continue
+            mask = member_of == member
+            queued += int(hook(indices[mask] - self._bounds[member]))
+        return queued
 
     def __iter__(self):
         """Yield ``(raster, labels)`` shard by shard across members."""
-        for stream in self.streams:
-            yield from stream
+        for member in range(len(self._counts)):
+            yield from self._stream(member)
 
     def materialize(self) -> np.ndarray:
         """Densify the whole federation (tests/small stores only)."""

@@ -1,0 +1,359 @@
+"""Async multi-tenant serving facade over a federated replay store.
+
+The fleet framing: one byte-budgeted federation serves replay reads to
+many concurrent learners ("tenants").  :class:`ReplayService` is the
+serving layer — callers submit gather requests from asyncio tasks, a
+single server task drains the request queue into batches, and each
+batch is served as **one** union gather:
+
+1. concatenate every request's indices and deduplicate
+   (``np.unique(..., return_inverse=True)``) — overlapping working sets
+   across tenants decode each shard once, not once per tenant;
+2. run the union gather on an executor thread so the event loop stays
+   responsive while shards decode;
+3. slice each tenant's answer out of the union raster via the inverse
+   map — bitwise what a direct ``gather`` would have returned, because
+   shard decode is pure and slicing is fancy indexing.
+
+Mutation safety rides on the PR's store concurrency work: the service's
+member streams hold reader pins, so a compaction or rebalance racing a
+batch never yanks shard files mid-gather.  When the underlying
+federation *is* mutated (a writer rebalanced between batches), the
+served stream raises ``StoreError("store was mutated…")``; the service
+transparently reopens the federation, retries the batch once against
+the fresh snapshot, and counts the refresh — tenants only see an error
+when their indices no longer fit the refreshed store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.errors import StoreError
+from repro.replaystore.federation import (
+    DEFAULT_OPEN_MEMBERS,
+    FederatedReplayStore,
+    FederatedReplayStream,
+)
+
+__all__ = ["ReplayService", "ServiceStats"]
+
+#: Sentinel telling the server task to exit after draining its batch.
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregate serving counters (a :meth:`ReplayService.stats` snapshot)."""
+
+    requests: int
+    batches: int
+    samples_served: int
+    samples_decoded: int
+    refreshes: int
+    tenant_requests: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Requested samples per union-decoded sample (>1 = shared work)."""
+        if not self.samples_decoded:
+            return 0.0
+        return self.samples_served / self.samples_decoded
+
+    @property
+    def mean_batch_requests(self) -> float:
+        """Average number of tenant requests coalesced per batch."""
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class ReplayService:
+    """Batched async gather server over one federated replay store.
+
+    Parameters
+    ----------
+    root:
+        Federation directory (opened via
+        :meth:`FederatedReplayStore.open` at :meth:`start` and on every
+        mutation-triggered refresh).
+    decompress:
+        Forwarded to :meth:`FederatedReplayStore.stream`.
+    cache_shards:
+        Per-member decoded-shard LRU size of the served stream.
+    max_open_members:
+        Open-handle cap for both the federation handle and the lazy
+        member streams.
+    max_batch_requests:
+        Most tenant requests coalesced into one union gather; requests
+        beyond the cap wait for the next batch.
+    prefetch:
+        Wrap opened member streams in
+        :class:`~repro.replaystore.prefetch.PrefetchingStream`.
+
+    Use as an async context manager (or call :meth:`start` /
+    :meth:`close` explicitly); requests submitted before ``start`` or
+    after ``close`` raise :class:`~repro.errors.StoreError`.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        decompress: bool = False,
+        cache_shards: int = 2,
+        max_open_members: int = DEFAULT_OPEN_MEMBERS,
+        max_batch_requests: int = 32,
+        prefetch: bool = False,
+    ):
+        if max_batch_requests < 1:
+            raise StoreError(
+                f"max_batch_requests must be >= 1, got {max_batch_requests}"
+            )
+        self.root = Path(root)
+        self.decompress = bool(decompress)
+        self.cache_shards = int(cache_shards)
+        self.max_open_members = int(max_open_members)
+        self.max_batch_requests = int(max_batch_requests)
+        self.prefetch = bool(prefetch)
+        self._federation: FederatedReplayStore | None = None
+        self._stream: FederatedReplayStream | None = None
+        self._queue: asyncio.Queue | None = None
+        self._server: asyncio.Task | None = None
+        self._requests = 0
+        self._batches = 0
+        self._samples_served = 0
+        self._samples_decoded = 0
+        self._refreshes = 0
+        self._tenant_requests: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _open_view(self) -> None:
+        """(Re)open the federation and its lazy serving stream."""
+        old = self._stream
+        self._federation = FederatedReplayStore.open(
+            self.root, max_open_members=self.max_open_members
+        )
+        self._stream = self._federation.stream(
+            decompress=self.decompress,
+            cache_shards=self.cache_shards,
+            max_open_streams=self.max_open_members,
+            prefetch=self.prefetch,
+        )
+        if old is not None:
+            old.close()
+
+    async def start(self) -> None:
+        """Open the serving view and launch the server task."""
+        if self._server is not None:
+            raise StoreError("replay service is already started")
+        self._open_view()
+        self._queue = asyncio.Queue()
+        self._server = asyncio.get_running_loop().create_task(self._serve())
+
+    async def close(self) -> None:
+        """Drain in-flight batches, stop the server, release pins."""
+        if self._server is not None:
+            assert self._queue is not None
+            self._queue.put_nowait(_STOP)
+            await self._server
+            self._server = None
+            self._queue = None
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    async def __aenter__(self) -> "ReplayService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    @property
+    def num_samples(self) -> int:
+        """Samples in the currently served snapshot."""
+        if self._stream is None:
+            raise StoreError("replay service is not started")
+        return self._stream.num_samples
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of the serving counters."""
+        return ServiceStats(
+            requests=self._requests,
+            batches=self._batches,
+            samples_served=self._samples_served,
+            samples_decoded=self._samples_decoded,
+            refreshes=self._refreshes,
+            tenant_requests=dict(self._tenant_requests),
+        )
+
+    # ------------------------------------------------------------------
+    # Request API
+    # ------------------------------------------------------------------
+    async def gather(
+        self, indices: np.ndarray, tenant: str = "default"
+    ) -> np.ndarray:
+        """Gather ``[T, k, C]`` samples for one tenant.
+
+        Batched behind the scenes with whatever else is in flight.
+        """
+        results = await self.gather_many([(tenant, indices)])
+        return results[0]
+
+    async def gather_many(
+        self, requests: list[tuple[str, np.ndarray]]
+    ) -> list[np.ndarray]:
+        """Serve many ``(tenant, indices)`` requests, in request order.
+
+        All requests enter the queue together, so they land in the same
+        batch when the cap allows — the canonical way for one caller to
+        exploit cross-request coalescing deliberately.
+        """
+        if self._server is None or self._queue is None:
+            raise StoreError(
+                "replay service is not started (use `async with` or start())"
+            )
+        loop = asyncio.get_running_loop()
+        futures = []
+        for tenant, indices in requests:
+            arr = np.asarray(indices, dtype=np.int64)
+            if arr.ndim != 1:
+                raise StoreError(
+                    f"indices must be 1-D, got shape {arr.shape}"
+                )
+            future: asyncio.Future = loop.create_future()
+            self._queue.put_nowait((str(tenant), arr, future))
+            futures.append(future)
+        return list(await asyncio.gather(*futures))
+
+    # ------------------------------------------------------------------
+    # Server task
+    # ------------------------------------------------------------------
+    async def _serve(self) -> None:
+        """Drain the request queue, one coalesced batch at a time."""
+        assert self._queue is not None
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                return
+            batch = [item]
+            stopping = False
+            while len(batch) < self.max_batch_requests:
+                try:
+                    extra = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is _STOP:
+                    stopping = True
+                    break
+                batch.append(extra)
+            await self._serve_batch(batch)
+            if stopping:
+                return
+
+    async def _serve_batch(
+        self, batch: list[tuple[str, np.ndarray, asyncio.Future]]
+    ) -> None:
+        """Serve one batch: validate, union-gather, slice, resolve."""
+        assert self._stream is not None
+        for attempt in (0, 1):
+            live = [
+                (tenant, indices, future)
+                for tenant, indices, future in batch
+                if not future.done()
+            ]
+            if not live:
+                return
+            total = self._stream.num_samples
+            valid: list[tuple[str, np.ndarray, asyncio.Future]] = []
+            for tenant, indices, future in live:
+                if indices.size and (
+                    indices.min() < 0 or indices.max() >= total
+                ):
+                    future.set_exception(
+                        StoreError(
+                            f"indices out of range [0, {total}) "
+                            f"(got [{indices.min()}, {indices.max()}])"
+                        )
+                    )
+                    continue
+                valid.append((tenant, indices, future))
+            if not valid:
+                return
+            sizes = [int(indices.size) for _, indices, _ in valid]
+            try:
+                loop = asyncio.get_running_loop()
+                outputs, union_size = await loop.run_in_executor(
+                    None,
+                    self._gather_union,
+                    [indices for _, indices, _ in valid],
+                )
+            except StoreError as error:
+                if attempt == 0:
+                    # The federation was mutated under us (rebalance,
+                    # compaction, adoption): reopen and retry against
+                    # the fresh snapshot.
+                    self._refreshes += 1
+                    obs.count("service.refreshes")
+                    self._open_view()
+                    continue
+                for _tenant, _indices, future in valid:
+                    if not future.done():
+                        future.set_exception(error)
+                return
+            self._batches += 1
+            self._requests += len(valid)
+            self._samples_served += sum(sizes)
+            self._samples_decoded += union_size
+            obs.count("service.requests", len(valid))
+            obs.count("service.samples_served", sum(sizes))
+            obs.count("service.samples_decoded", union_size)
+            for (tenant, _indices, future), out in zip(valid, outputs):
+                self._tenant_requests[tenant] = (
+                    self._tenant_requests.get(tenant, 0) + 1
+                )
+                if not future.done():
+                    future.set_result(out)
+            return
+
+    def _gather_union(
+        self, indices_list: list[np.ndarray]
+    ) -> tuple[list[np.ndarray], int]:
+        """One deduplicated gather serving every request in the batch.
+
+        Runs on the executor thread.  Returns the per-request rasters
+        (sliced from the union raster — bitwise identical to direct
+        gathers, shard decode being pure) and the union size.
+        """
+        assert self._stream is not None
+        concat = (
+            np.concatenate(indices_list)
+            if indices_list
+            else np.zeros(0, dtype=np.int64)
+        )
+        with obs.span(
+            "service.batch",
+            category="store",
+            requests=len(indices_list),
+            samples=int(concat.size),
+        ) as span:
+            union, inverse = np.unique(concat, return_inverse=True)
+            span.set(union=int(union.size))
+            data = self._stream.gather(union)
+            outputs: list[np.ndarray] = []
+            offset = 0
+            for indices in indices_list:
+                take = inverse[offset : offset + indices.size]
+                outputs.append(data[:, take, :])
+                offset += indices.size
+        return outputs, int(union.size)
+
+    def __repr__(self) -> str:
+        state = "running" if self._server is not None else "stopped"
+        return f"ReplayService(root={str(self.root)!r}, {state})"

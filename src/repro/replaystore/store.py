@@ -16,11 +16,26 @@ read when their samples are actually replayed (see ``stream.py``).
 Shards are immutable once written; mutation happens by appending new
 shards or by :meth:`ReplayStore.compact`, which rewrites the shard set
 at uniform occupancy (after evictions leave ragged shards behind).
+
+Concurrency: every index mutation runs under an exclusive advisory
+:class:`~repro.ioutil.FileLock` (``index.json.lock``) and re-reads the
+on-disk index before modifying it, so handles in different threads or
+processes serialize their read-modify-write cycles; the atomic index
+rename stays the commit point.  Readers register themselves through
+crash-safe pins (``.readers/``): a compaction that finds live readers
+leaves the superseded shard files on disk as a *tombstone generation*
+(recorded in the index) instead of unlinking them, so an in-flight
+gather against the old snapshot finishes cleanly — the reader then gets
+a clean :class:`~repro.errors.StoreError` at its next snapshot check,
+never a raw ``FileNotFoundError``.  Tombstones are swept by later
+mutations once no live reader pins a generation that can reference
+them.
 """
 
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -28,12 +43,31 @@ import numpy as np
 
 from repro import obs
 from repro.errors import StoreError
-from repro.ioutil import atomic_write_json
+from repro.ioutil import (
+    FileLock,
+    Pin,
+    acquire_pin,
+    atomic_write_json,
+    live_pin_payloads,
+)
 from repro.replaystore.format import decode_shard, encode_shard, peek_header
 
-__all__ = ["StoreMeta", "ShardInfo", "StoreStats", "ReplayStore", "INDEX_NAME"]
+__all__ = [
+    "StoreMeta",
+    "ShardInfo",
+    "StoreStats",
+    "ReplayStore",
+    "INDEX_NAME",
+    "LOCK_NAME",
+    "READERS_DIR",
+]
 
 INDEX_NAME = "index.json"
+#: Lock file guarding index read-modify-write (never renamed, unlike
+#: the index itself, so the locked inode is stable).
+LOCK_NAME = "index.json.lock"
+#: Directory of crash-safe reader pins (see :mod:`repro.ioutil`).
+READERS_DIR = ".readers"
 INDEX_VERSION = 1
 
 #: Default samples per shard; also the replay-time decode granularity
@@ -108,6 +142,7 @@ class ReplayStore:
         meta: StoreMeta,
         shards: list[ShardInfo],
         generation: int = 0,
+        tombstones: list[dict] | None = None,
     ):
         self.root = Path(root)
         self.meta = meta
@@ -116,6 +151,88 @@ class ReplayStore:
         #: generation in their name so a rewrite never collides with the
         #: files the current index still points at.
         self.generation = int(generation)
+        #: Superseded shard files kept on disk for live pinned readers:
+        #: ``[{"file": name, "generation": g}]`` where ``g`` is the
+        #: generation whose commit orphaned the file.  Swept by
+        #: :meth:`sweep_tombstones` once no reader can reference them.
+        self.tombstones: list[dict] = list(tombstones or [])
+
+    # ------------------------------------------------------------------
+    # Locking + reader registry
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _locked(self):
+        """Exclusive advisory lock over index read-modify-write."""
+        lock = FileLock(self.root / LOCK_NAME)
+        lock.acquire()
+        try:
+            yield lock
+        finally:
+            lock.release()
+
+    def pin_reader(self) -> Pin:
+        """Register a live reader pinned to the current generation.
+
+        While the pin is held (a crashed holder releases it
+        automatically), mutations keep this generation's shard files on
+        disk as tombstones instead of unlinking them, so the reader's
+        in-flight gathers finish against its snapshot.  Release the pin
+        as soon as the snapshot view is dropped.
+        """
+        return acquire_pin(
+            self.root / READERS_DIR, {"generation": self.generation}
+        )
+
+    def _pinned_generations(self) -> list[int]:
+        """Generations pinned by live readers (unparseable pins pin all)."""
+        return [
+            int(payload.get("generation", -1))
+            for payload in live_pin_payloads(self.root / READERS_DIR)
+        ]
+
+    def _commit_and_sweep(self, orphans: list[str]) -> None:
+        """Commit the index, then remove unpinned superseded files.
+
+        ``orphans`` are files the *new* generation no longer references.
+        Every candidate (prior tombstones included) is recorded in the
+        committed index first, so a crash after the rename never loses
+        track of a file; deletion only touches candidates no live
+        reader's pinned generation can reference.  Caller holds the
+        index lock.
+        """
+        candidates = list(self.tombstones) + [
+            {"file": name, "generation": self.generation} for name in orphans
+        ]
+        self.tombstones = candidates
+        self._write_index()  # atomic rename: the commit point
+        if not candidates:
+            return
+        pinned = self._pinned_generations()
+        keep = []
+        dropped = 0
+        for tomb in candidates:
+            if any(g < int(tomb["generation"]) for g in pinned):
+                keep.append(tomb)
+                continue
+            (self.root / str(tomb["file"])).unlink(missing_ok=True)
+            dropped += 1
+        if dropped:
+            self.tombstones = keep
+            self._write_index()
+            obs.count("store.tombstones_swept", dropped)
+
+    def sweep_tombstones(self) -> int:
+        """Delete tombstoned files no live reader pins; returns count.
+
+        Safe to call any time (takes the index lock); mutations sweep
+        opportunistically, so explicit calls are only needed to reclaim
+        disk promptly after long-lived readers close.
+        """
+        with self._locked():
+            self._reload()
+            before = len(self.tombstones)
+            self._commit_and_sweep([])
+            return before - len(self.tombstones)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -136,14 +253,6 @@ class ReplayStore:
         """Initialise an empty store directory (refuses to clobber one)."""
         root = Path(root)
         index_path = root / INDEX_NAME
-        if index_path.exists() and not overwrite:
-            raise StoreError(
-                f"store already exists at {root} (pass overwrite=True to replace)"
-            )
-        root.mkdir(parents=True, exist_ok=True)
-        if overwrite:
-            for old in root.glob("shard-*.bin"):
-                old.unlink()
         meta = StoreMeta(
             stored_frames=stored_frames,
             num_channels=num_channels,
@@ -153,7 +262,16 @@ class ReplayStore:
             shard_samples=shard_samples,
         )
         store = cls(root, meta, [])
-        store._write_index()
+        with store._locked():
+            if index_path.exists() and not overwrite:
+                raise StoreError(
+                    f"store already exists at {root} (pass overwrite=True to replace)"
+                )
+            root.mkdir(parents=True, exist_ok=True)
+            if overwrite:
+                for old in root.glob("shard-*.bin"):
+                    old.unlink()
+            store._write_index()
         return store
 
     @classmethod
@@ -161,16 +279,7 @@ class ReplayStore:
         """Load an existing store from its index."""
         root = Path(root)
         index_path = root / INDEX_NAME
-        if not index_path.exists():
-            raise StoreError(f"no replay store at {root} (missing {INDEX_NAME})")
-        try:
-            payload = json.loads(index_path.read_text())
-        except json.JSONDecodeError as error:
-            raise StoreError(f"corrupt store index at {index_path}: {error}") from error
-        if payload.get("version") != INDEX_VERSION:
-            raise StoreError(
-                f"unsupported store index version {payload.get('version')!r}"
-            )
+        payload = cls._read_index(index_path)
         try:
             meta = StoreMeta(**payload["meta"])
             shards = [ShardInfo(**entry) for entry in payload["shards"]]
@@ -178,7 +287,48 @@ class ReplayStore:
             raise StoreError(
                 f"malformed store index at {index_path}: {error}"
             ) from error
-        return cls(root, meta, shards, generation=int(payload.get("generation", 0)))
+        return cls(
+            root,
+            meta,
+            shards,
+            generation=int(payload.get("generation", 0)),
+            tombstones=list(payload.get("tombstones", [])),
+        )
+
+    @staticmethod
+    def _read_index(index_path: Path) -> dict:
+        """Parse the raw index payload (shared by ``open`` and reload)."""
+        if not index_path.exists():
+            raise StoreError(
+                f"no replay store at {index_path.parent} (missing {INDEX_NAME})"
+            )
+        try:
+            payload = json.loads(index_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise StoreError(f"corrupt store index at {index_path}: {error}") from error
+        if payload.get("version") != INDEX_VERSION:
+            raise StoreError(
+                f"unsupported store index version {payload.get('version')!r}"
+            )
+        return payload
+
+    def _reload(self) -> None:
+        """Refresh this handle from the on-disk index.
+
+        Called at the start of every locked mutation so read-modify-write
+        cycles from concurrent handles compose instead of clobbering each
+        other (the second writer starts from the first writer's commit).
+        """
+        payload = self._read_index(self.root / INDEX_NAME)
+        try:
+            self.meta = StoreMeta(**payload["meta"])
+            self.shards = [ShardInfo(**entry) for entry in payload["shards"]]
+        except (KeyError, TypeError) as error:
+            raise StoreError(
+                f"malformed store index at {self.root / INDEX_NAME}: {error}"
+            ) from error
+        self.generation = int(payload.get("generation", 0))
+        self.tombstones = list(payload.get("tombstones", []))
 
     def _write_index(self) -> None:
         """Atomically replace the index (write-to-temp + rename)."""
@@ -203,6 +353,10 @@ class ReplayStore:
                     "labels": list(map(int, s.labels)),
                 }
                 for s in self.shards
+            ],
+            "tombstones": [
+                {"file": str(t["file"]), "generation": int(t["generation"])}
+                for t in self.tombstones
             ],
         }
         atomic_write_json(self.root / INDEX_NAME, payload)
@@ -235,9 +389,15 @@ class ReplayStore:
 
     def disk_bytes(self) -> int:
         """Actual bytes on disk: shard files plus the index itself."""
-        total = (self.root / INDEX_NAME).stat().st_size
-        for shard in self.shards:
-            total += (self.root / shard.file).stat().st_size
+        try:
+            total = (self.root / INDEX_NAME).stat().st_size
+            for shard in self.shards:
+                total += (self.root / shard.file).stat().st_size
+        except OSError as error:
+            raise StoreError(
+                f"store was mutated by another handle while measuring "
+                f"disk usage at {self.root}: {error}"
+            ) from error
         return total
 
     def stats(self) -> StoreStats:
@@ -287,13 +447,28 @@ class ReplayStore:
             raise StoreError(
                 f"{labels.shape} labels incompatible with raster {raster.shape}"
             )
-        new_ids: list[int] = []
-        for start in range(0, raster.shape[1], self.meta.shard_samples):
-            chunk = raster[:, start : start + self.meta.shard_samples, :]
-            chunk_labels = labels[start : start + self.meta.shard_samples]
-            new_ids.append(self._write_shard(chunk, chunk_labels))
-        self._write_index()
+        with self._locked():
+            self._reload()
+            new_ids: list[int] = []
+            for start in range(0, raster.shape[1], self.meta.shard_samples):
+                chunk = raster[:, start : start + self.meta.shard_samples, :]
+                chunk_labels = labels[start : start + self.meta.shard_samples]
+                new_ids.append(self._write_shard(chunk, chunk_labels))
+            self._commit_and_sweep([])
         return new_ids
+
+    def _shard_name(self, shard_id: int) -> str:
+        """Next free ``shard-NNNNN.bin`` name (never reuses a tombstone).
+
+        Plain sequential naming would collide with a same-numbered file
+        kept alive as a tombstone after a compaction, silently clobbering
+        the snapshot a pinned reader is still gathering from.
+        """
+        used = {s.file for s in self.shards}
+        used.update(str(t["file"]) for t in self.tombstones)
+        while f"shard-{shard_id:05d}.bin" in used:
+            shard_id += 1
+        return f"shard-{shard_id:05d}.bin"
 
     def _write_shard(self, raster: np.ndarray, labels: np.ndarray) -> int:
         shard_id = len(self.shards)
@@ -303,7 +478,7 @@ class ReplayStore:
         obs.count("store.bytes_encoded", len(blob))
         obs.count("store.shards_encoded")
         header = peek_header(blob)
-        name = f"shard-{shard_id:05d}.bin"
+        name = self._shard_name(shard_id)
         (self.root / name).write_bytes(blob)
         self.shards.append(
             ShardInfo(
@@ -325,10 +500,15 @@ class ReplayStore:
             )
         info = self.shards[shard_id]
         path = self.root / info.file
-        if not path.exists():
-            raise StoreError(f"shard file missing: {path}")
         with obs.span("store.decode_shard", category="store", shard=shard_id) as sp:
-            blob = path.read_bytes()
+            try:
+                blob = path.read_bytes()
+            except OSError as error:
+                raise StoreError(
+                    f"shard file {info.file} is gone — store was mutated by "
+                    f"another handle (compacted, filtered, or rebuilt); "
+                    f"reopen the store to see its current state: {error}"
+                ) from error
             sp.set(bytes=len(blob))
             raster, labels = decode_shard(blob)
         obs.count("store.bytes_decoded", len(blob))
@@ -357,72 +537,74 @@ class ReplayStore:
         keep = np.asarray(keep, dtype=np.int64)
         if keep.ndim != 1:
             raise StoreError(f"keep indices must be 1-D, got shape {keep.shape}")
-        total = self.num_samples
-        if keep.size:
-            if keep.min() < 0 or keep.max() >= total:
-                raise StoreError(
-                    f"keep indices out of range [0, {total}) "
-                    f"(got [{keep.min()}, {keep.max()}])"
-                )
-            if np.any(np.diff(keep) <= 0):
-                raise StoreError("keep indices must be strictly increasing")
-        if keep.size == total:
-            return 0
-        evicted = total - int(keep.size)
-        target = self.meta.shard_samples
-        old_files = [self.root / s.file for s in self.shards]
-        generation = self.generation + 1
-
-        staged: list[ShardInfo] = []
-        pending_raster: list[np.ndarray] = []
-        pending_labels: list[np.ndarray] = []
-        pending = 0
-
-        def flush(force: bool) -> None:
-            nonlocal pending
-            while pending >= target or (force and pending > 0):
-                raster = np.concatenate(pending_raster, axis=1)
-                labels = np.concatenate(pending_labels)
-                take = min(target, raster.shape[1])
-                blob = encode_shard(raster[:, :take, :], labels[:take])
-                header = peek_header(blob)
-                name = f"shard-g{generation:03d}-{len(staged):05d}.bin"
-                (self.root / name).write_bytes(blob)
-                staged.append(
-                    ShardInfo(
-                        file=name,
-                        num_samples=header.num_samples,
-                        codec=header.codec,
-                        payload_bytes=header.payload_bytes,
-                        payload_offset=len(blob) - header.payload_bytes,
-                        labels=[int(v) for v in labels[:take]],
+        with self._locked():
+            self._reload()
+            total = self.num_samples
+            if keep.size:
+                if keep.min() < 0 or keep.max() >= total:
+                    raise StoreError(
+                        f"keep indices out of range [0, {total}) "
+                        f"(got [{keep.min()}, {keep.max()}])"
                     )
-                )
-                pending_raster[:] = (
-                    [raster[:, take:, :]] if take < raster.shape[1] else []
-                )
-                pending_labels[:] = [labels[take:]] if take < labels.shape[0] else []
-                pending -= take
+                if np.any(np.diff(keep) <= 0):
+                    raise StoreError("keep indices must be strictly increasing")
+            if keep.size == total:
+                return 0
+            evicted = total - int(keep.size)
+            target = self.meta.shard_samples
+            old_files = [s.file for s in self.shards]
+            generation = self.generation + 1
 
-        offset = 0
-        for shard_id in range(len(self.shards)):
-            count = self.shards[shard_id].num_samples
-            local = keep[(keep >= offset) & (keep < offset + count)] - offset
-            offset += count
-            if local.size == 0:
-                continue
-            raster, labels = self.read_shard(shard_id)
-            pending_raster.append(raster[:, local, :])
-            pending_labels.append(labels[local])
-            pending += int(local.size)
-            flush(force=False)
-        flush(force=True)
+            staged: list[ShardInfo] = []
+            pending_raster: list[np.ndarray] = []
+            pending_labels: list[np.ndarray] = []
+            pending = 0
 
-        self.shards = staged
-        self.generation = generation
-        self._write_index()  # atomic rename: the commit point
-        for path in old_files:
-            path.unlink(missing_ok=True)
+            def flush(force: bool) -> None:
+                nonlocal pending
+                while pending >= target or (force and pending > 0):
+                    raster = np.concatenate(pending_raster, axis=1)
+                    labels = np.concatenate(pending_labels)
+                    take = min(target, raster.shape[1])
+                    blob = encode_shard(raster[:, :take, :], labels[:take])
+                    header = peek_header(blob)
+                    name = f"shard-g{generation:03d}-{len(staged):05d}.bin"
+                    (self.root / name).write_bytes(blob)
+                    staged.append(
+                        ShardInfo(
+                            file=name,
+                            num_samples=header.num_samples,
+                            codec=header.codec,
+                            payload_bytes=header.payload_bytes,
+                            payload_offset=len(blob) - header.payload_bytes,
+                            labels=[int(v) for v in labels[:take]],
+                        )
+                    )
+                    pending_raster[:] = (
+                        [raster[:, take:, :]] if take < raster.shape[1] else []
+                    )
+                    pending_labels[:] = (
+                        [labels[take:]] if take < labels.shape[0] else []
+                    )
+                    pending -= take
+
+            offset = 0
+            for shard_id in range(len(self.shards)):
+                count = self.shards[shard_id].num_samples
+                local = keep[(keep >= offset) & (keep < offset + count)] - offset
+                offset += count
+                if local.size == 0:
+                    continue
+                raster, labels = self.read_shard(shard_id)
+                pending_raster.append(raster[:, local, :])
+                pending_labels.append(labels[local])
+                pending += int(local.size)
+                flush(force=False)
+            flush(force=True)
+
+            self.shards = staged
+            self.generation = generation
+            self._commit_and_sweep(old_files)
         return evicted
 
     def compact(self, shard_samples: int | None = None) -> int:
@@ -441,62 +623,64 @@ class ReplayStore:
         """
         if shard_samples is not None and shard_samples <= 0:
             raise StoreError(f"shard_samples must be positive, got {shard_samples}")
-        target = shard_samples or self.meta.shard_samples
-        old_files = [self.root / s.file for s in self.shards]
-        generation = self.generation + 1
+        with self._locked():
+            self._reload()
+            target = shard_samples or self.meta.shard_samples
+            old_files = [s.file for s in self.shards]
+            generation = self.generation + 1
 
-        staged: list[ShardInfo] = []
-        pending_raster: list[np.ndarray] = []
-        pending_labels: list[np.ndarray] = []
-        pending = 0
+            staged: list[ShardInfo] = []
+            pending_raster: list[np.ndarray] = []
+            pending_labels: list[np.ndarray] = []
+            pending = 0
 
-        def flush(force: bool) -> None:
-            nonlocal pending
-            while pending >= target or (force and pending > 0):
-                raster = np.concatenate(pending_raster, axis=1)
-                labels = np.concatenate(pending_labels)
-                take = min(target, raster.shape[1])
-                blob = encode_shard(raster[:, :take, :], labels[:take])
-                header = peek_header(blob)
-                name = f"shard-g{generation:03d}-{len(staged):05d}.bin"
-                (self.root / name).write_bytes(blob)
-                staged.append(
-                    ShardInfo(
-                        file=name,
-                        num_samples=header.num_samples,
-                        codec=header.codec,
-                        payload_bytes=header.payload_bytes,
-                        payload_offset=len(blob) - header.payload_bytes,
-                        labels=[int(v) for v in labels[:take]],
+            def flush(force: bool) -> None:
+                nonlocal pending
+                while pending >= target or (force and pending > 0):
+                    raster = np.concatenate(pending_raster, axis=1)
+                    labels = np.concatenate(pending_labels)
+                    take = min(target, raster.shape[1])
+                    blob = encode_shard(raster[:, :take, :], labels[:take])
+                    header = peek_header(blob)
+                    name = f"shard-g{generation:03d}-{len(staged):05d}.bin"
+                    (self.root / name).write_bytes(blob)
+                    staged.append(
+                        ShardInfo(
+                            file=name,
+                            num_samples=header.num_samples,
+                            codec=header.codec,
+                            payload_bytes=header.payload_bytes,
+                            payload_offset=len(blob) - header.payload_bytes,
+                            labels=[int(v) for v in labels[:take]],
+                        )
                     )
-                )
-                pending_raster[:] = (
-                    [raster[:, take:, :]] if take < raster.shape[1] else []
-                )
-                pending_labels[:] = [labels[take:]] if take < labels.shape[0] else []
-                pending -= take
+                    pending_raster[:] = (
+                        [raster[:, take:, :]] if take < raster.shape[1] else []
+                    )
+                    pending_labels[:] = (
+                        [labels[take:]] if take < labels.shape[0] else []
+                    )
+                    pending -= take
 
-        for shard_id in range(len(self.shards)):
-            raster, labels = self.read_shard(shard_id)
-            pending_raster.append(raster)
-            pending_labels.append(labels)
-            pending += raster.shape[1]
-            flush(force=False)
-        flush(force=True)
+            for shard_id in range(len(self.shards)):
+                raster, labels = self.read_shard(shard_id)
+                pending_raster.append(raster)
+                pending_labels.append(labels)
+                pending += raster.shape[1]
+                flush(force=False)
+            flush(force=True)
 
-        self.shards = staged
-        self.generation = generation
-        self.meta = StoreMeta(
-            stored_frames=self.meta.stored_frames,
-            num_channels=self.meta.num_channels,
-            generated_timesteps=self.meta.generated_timesteps,
-            insertion_layer=self.meta.insertion_layer,
-            codec_factor=self.meta.codec_factor,
-            shard_samples=target,
-        )
-        self._write_index()  # atomic rename: the commit point
-        for path in old_files:
-            path.unlink(missing_ok=True)
+            self.shards = staged
+            self.generation = generation
+            self.meta = StoreMeta(
+                stored_frames=self.meta.stored_frames,
+                num_channels=self.meta.num_channels,
+                generated_timesteps=self.meta.generated_timesteps,
+                insertion_layer=self.meta.insertion_layer,
+                codec_factor=self.meta.codec_factor,
+                shard_samples=target,
+            )
+            self._commit_and_sweep(old_files)
         return len(self.shards)
 
     def __repr__(self) -> str:

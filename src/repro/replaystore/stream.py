@@ -17,6 +17,7 @@ path exactly.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 
 import numpy as np
@@ -24,7 +25,7 @@ import numpy as np
 from repro import obs
 from repro.compression.subsample import TemporalSubsampleCodec
 from repro.errors import StoreError
-from repro.replaystore.store import ReplayStore
+from repro.replaystore.store import INDEX_NAME, ReplayStore
 
 __all__ = ["ReplayStream", "ConcatReplaySource"]
 
@@ -76,12 +77,54 @@ class ReplayStream:
         # Sample index -> (shard, column) without touching payloads.
         bounds = np.cumsum([n for _, n in self._signature])
         self._bounds = np.concatenate([[0], bounds]).astype(np.int64)
+        # Every index commit is an atomic rename, so the index inode
+        # identifies the snapshot exactly: a cross-handle mutation (a
+        # compaction in another thread or process) is one stat away.
+        stat = os.stat(store.root / INDEX_NAME)
+        self._index_id = (stat.st_dev, stat.st_ino)
+        # Crash-safe reader pin: while held, mutations tombstone this
+        # generation's shard files instead of unlinking them, so an
+        # in-flight gather finishes against its snapshot and the *next*
+        # snapshot check reports the mutation cleanly.
+        self._pin = store.pin_reader()
+
+    def close(self) -> None:
+        """Release the reader pin (idempotent; ``__del__`` backstops).
+
+        After closing, mutations may reclaim this snapshot's shard
+        files immediately; the stream itself remains usable until the
+        store actually changes.
+        """
+        pin = getattr(self, "_pin", None)
+        if pin is not None:
+            pin.release()
+
+    def __del__(self):
+        self.close()
+
+    def __enter__(self) -> "ReplayStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _check_not_stale(self) -> None:
         current = [(s.file, s.num_samples) for s in self.store.shards]
         if current != self._signature:
             raise StoreError(
                 "store was mutated (append/compact) after this ReplayStream "
+                "was created; open a fresh stream"
+            )
+        try:
+            stat = os.stat(self.store.root / INDEX_NAME)
+        except OSError as error:
+            raise StoreError(
+                f"store was mutated: index vanished from {self.store.root} "
+                f"after this ReplayStream was created: {error}"
+            ) from error
+        if (stat.st_dev, stat.st_ino) != self._index_id:
+            raise StoreError(
+                "store was mutated by another handle after this ReplayStream "
                 "was created; open a fresh stream"
             )
 
@@ -254,6 +297,15 @@ class ConcatReplaySource:
         if hook is None:
             return 0
         indices = np.asarray(indices, dtype=np.int64)
+        # Advice is advisory, but bogus advice is not harmless: an
+        # out-of-range index would map to a nonexistent shard id and
+        # poison the prefetch queue.  Apply the same bounds gather
+        # enforces, dropping (not raising — callers speculate) the
+        # invalid entries.
+        bogus = (indices < 0) | (indices >= self.shape[1])
+        if np.any(bogus):
+            obs.count("prefetch.bogus_advice", int(np.count_nonzero(bogus)))
+            indices = indices[~bogus]
         replay = indices[indices >= self.dense.shape[1]] - self.dense.shape[1]
         if replay.size == 0:
             return 0

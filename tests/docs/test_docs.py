@@ -143,6 +143,14 @@ class TestSitePages:
             "architecture.md": ["repro.autograd", "repro.snn", "repro.eval"],
             "backends.md": ["SequenceExecutor", "REPRO_BACKEND", "parity"],
             "reproducibility.md": ["bitwise", "associat", "-ffp-contract=off"],
+            "replay_service.md": [
+                "flock",
+                "tombstone",
+                "generation",
+                "ReplayService",
+                "max_open_members",
+                "return_inverse",
+            ],
         }
         for page, needles in required.items():
             text = (DOCS / page).read_text()

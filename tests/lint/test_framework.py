@@ -29,6 +29,7 @@ class TestRegistry:
             "RPL006",
             "RPL007",
             "RPL008",
+            "RPL009",
         ]
 
     def test_every_rule_documents_itself(self):

@@ -382,3 +382,67 @@ class TestNoPrintRule:
         """
         assert rule_ids_of(src, "repro/cli.py") == []
         assert rule_ids_of(src, "repro/__main__.py") == []
+
+
+class TestNumpySaveRule:
+    def test_fires_on_path_destination(self):
+        src = """
+        import numpy as np
+
+        def store(path, arr):
+            np.savez(path, data=arr)
+        """
+        assert rule_ids_of(src, "repro/eval/foo.py") == ["RPL009"]
+
+    def test_fires_on_savez_compressed_and_save(self):
+        src = """
+        import numpy as np
+
+        def store(path, arr):
+            np.save(path, arr)
+            np.savez_compressed(path, data=arr)
+        """
+        assert rule_ids_of(src, "repro/data/foo.py") == ["RPL009", "RPL009"]
+
+    def test_fires_through_file_keyword(self):
+        src = """
+        import numpy as np
+
+        def store(path, arr):
+            np.savez(file=path, data=arr)
+        """
+        assert rule_ids_of(src, "repro/eval/foo.py") == ["RPL009"]
+
+    def test_passes_atomic_open_handle(self):
+        src = """
+        import numpy as np
+        from repro.ioutil import atomic_open
+
+        def store(path, arr):
+            with atomic_open(path, "wb") as handle:
+                np.savez(handle, data=arr)
+        """
+        assert rule_ids_of(src, "repro/scenario/foo.py") == []
+
+    def test_fires_on_non_atomic_handle_name(self):
+        src = """
+        import numpy as np
+
+        def store(path, arr):
+            with open(path, "wb") as handle:
+                np.savez(handle, data=arr)
+        """
+        # The bare open is RPL004 territory; the handle it yields is
+        # not atomic, so RPL009 still fires on the save call.
+        assert "RPL009" in rule_ids_of(src, "repro/eval/foo.py")
+
+    def test_passes_unrelated_savez_attribute(self):
+        src = """
+        class Archiver:
+            def savez(self, path):
+                return path
+
+        def store(archiver, path):
+            archiver.savez(path)
+        """
+        assert rule_ids_of(src, "repro/eval/foo.py") == []

@@ -147,7 +147,7 @@ class TestGlobalBudget:
             fed.adopt(f"task-{step}")
             if budget is None:  # budget admits 10 samples total
                 budget = 10 * fed.sample_bytes
-                fed.budget_bytes = budget
+                fed.configure(budget_bytes=budget)
             fed.rebalance()
             assert fed.model_bytes() <= budget
             assert not fed.over_budget()
@@ -165,7 +165,7 @@ class TestGlobalBudget:
             make_member(fed.root / "b", [1] * 8, seed=2)
             fed.adopt("a")
             fed.adopt("b")
-            fed.budget_bytes = 12 * fed.sample_bytes
+            fed.configure(budget_bytes=12 * fed.sample_bytes)
             fed.rebalance()
             kept.append(fed.labels.tolist())
         assert kept[0] == kept[1]
@@ -174,7 +174,7 @@ class TestGlobalBudget:
         fed = FederatedReplayStore.create(tmp_path / "fed", seed=0)
         make_member(fed.root / "a", [0] * 20, seed=1)
         fed.adopt("a")
-        fed.budget_bytes = 4 * fed.sample_bytes
+        fed.configure(budget_bytes=4 * fed.sample_bytes)
         fed.rebalance()
         assert FederatedReplayStore.open(fed.root).rebalances == 1
 
@@ -184,7 +184,7 @@ class TestGlobalBudget:
         fed = FederatedReplayStore.create(tmp_path / "fed", seed=7)
         make_member(fed.root / "old", [0] * 16, seed=1)
         fed.adopt("old")
-        fed.budget_bytes = 16 * fed.sample_bytes
+        fed.configure(budget_bytes=16 * fed.sample_bytes)
         make_member(fed.root / "new", [1] * 16, seed=2)
         fed.adopt("new")
         fed.rebalance()
@@ -205,7 +205,7 @@ class TestClassBalance:
         fed.adopt("t1")
         make_member(fed.root / "t2", [2] * 6, seed=3)
         fed.adopt("t2")
-        fed.budget_bytes = 12 * fed.sample_bytes
+        fed.configure(budget_bytes=12 * fed.sample_bytes)
         fed.rebalance()
         counts = fed.class_counts()
         assert set(counts) == {0, 1, 2}  # no class extinct
@@ -218,7 +218,7 @@ class TestClassBalance:
         )
         make_member(fed.root / "rare", [5] * 2, seed=1)
         fed.adopt("rare")
-        fed.budget_bytes = 8 * fed.sample_bytes
+        fed.configure(budget_bytes=8 * fed.sample_bytes)
         for step in range(3):
             make_member(fed.root / f"flood-{step}", [0] * 20, seed=2 + step)
             fed.adopt(f"flood-{step}")
@@ -285,7 +285,7 @@ class TestAudit:
         fed = FederatedReplayStore.create(tmp_path / "fed", seed=1)
         make_member(fed.root / "a", [0] * 10, seed=1)
         fed.adopt("a")
-        fed.budget_bytes = 20 * fed.sample_bytes
+        fed.configure(budget_bytes=20 * fed.sample_bytes)
         audit = audit_federation(fed)
         assert audit.within_budget
         assert audit.budget_utilization == pytest.approx(0.5)

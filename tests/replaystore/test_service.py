@@ -1,0 +1,221 @@
+"""Tests for ReplayService: batching, parity, refresh, lifecycle."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.replaystore import FederatedReplayStore, ReplayService, ReplayStore
+
+FRAMES, CHANNELS = 8, 12
+
+
+def make_federation(root, members=3, samples=8, seed=0):
+    fed = FederatedReplayStore.create(root, seed=seed)
+    rng = np.random.default_rng(seed)
+    for k in range(members):
+        store = ReplayStore.create(
+            root / f"task-{k}",
+            stored_frames=FRAMES,
+            num_channels=CHANNELS,
+            generated_timesteps=FRAMES,
+            shard_samples=4,
+        )
+        store.append(
+            (rng.random((FRAMES, samples, CHANNELS)) < 0.2).astype(np.float32),
+            rng.integers(0, 4, samples),
+        )
+        fed.adopt(f"task-{k}")
+    return fed
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLifecycle:
+    def test_requests_require_start(self, tmp_path):
+        make_federation(tmp_path / "fed")
+        service = ReplayService(tmp_path / "fed")
+
+        async def premature():
+            await service.gather(np.arange(2))
+
+        with pytest.raises(StoreError, match="not started"):
+            run(premature())
+
+    def test_double_start_is_an_error(self, tmp_path):
+        make_federation(tmp_path / "fed")
+
+        async def scenario():
+            async with ReplayService(tmp_path / "fed") as service:
+                with pytest.raises(StoreError, match="already started"):
+                    await service.start()
+
+        run(scenario())
+
+    def test_close_is_clean_and_repeatable(self, tmp_path):
+        make_federation(tmp_path / "fed")
+
+        async def scenario():
+            service = ReplayService(tmp_path / "fed")
+            await service.start()
+            out = await service.gather(np.arange(4))
+            await service.close()
+            await service.close()
+            return out
+
+        assert run(scenario()).shape == (FRAMES, 4, CHANNELS)
+
+    def test_rejects_bad_batch_cap(self, tmp_path):
+        with pytest.raises(StoreError, match="max_batch_requests"):
+            ReplayService(tmp_path / "fed", max_batch_requests=0)
+
+    def test_num_samples_requires_view(self, tmp_path):
+        with pytest.raises(StoreError, match="not started"):
+            ReplayService(tmp_path / "fed").num_samples
+
+
+class TestParityAndBatching:
+    def test_gather_matches_dense_bitwise(self, tmp_path):
+        fed = make_federation(tmp_path / "fed")
+        dense = fed.stream().materialize()
+
+        async def scenario():
+            async with ReplayService(tmp_path / "fed") as service:
+                indices = np.asarray([0, 3, 9, 9, 17])
+                return await service.gather(indices), indices
+
+        out, indices = run(scenario())
+        np.testing.assert_array_equal(out, dense[:, indices, :])
+
+    def test_gather_many_coalesces_overlap(self, tmp_path):
+        fed = make_federation(tmp_path / "fed")
+        dense = fed.stream().materialize()
+        requests = [
+            ("a", np.arange(0, 10)),
+            ("b", np.arange(5, 15)),
+            ("c", np.arange(0, 15)),
+        ]
+
+        async def scenario():
+            async with ReplayService(
+                tmp_path / "fed", max_batch_requests=8
+            ) as service:
+                outputs = await service.gather_many(requests)
+                return outputs, service.stats()
+
+        outputs, stats = run(scenario())
+        for (_tenant, indices), out in zip(requests, outputs):
+            np.testing.assert_array_equal(out, dense[:, indices, :])
+        # One batch, one union decode of 15 samples serving 35.
+        assert stats.batches == 1
+        assert stats.requests == 3
+        assert stats.samples_served == 35
+        assert stats.samples_decoded == 15
+        assert stats.coalescing_ratio == pytest.approx(35 / 15)
+        assert stats.mean_batch_requests == pytest.approx(3.0)
+        assert stats.tenant_requests == {"a": 1, "b": 1, "c": 1}
+
+    def test_batch_cap_splits_batches(self, tmp_path):
+        make_federation(tmp_path / "fed")
+        requests = [(f"t{i}", np.arange(4)) for i in range(5)]
+
+        async def scenario():
+            async with ReplayService(
+                tmp_path / "fed", max_batch_requests=2
+            ) as service:
+                await service.gather_many(requests)
+                return service.stats()
+
+        stats = run(scenario())
+        assert stats.requests == 5
+        assert stats.batches >= 3  # ceil(5 / 2)
+
+    def test_rejects_non_1d_indices(self, tmp_path):
+        make_federation(tmp_path / "fed")
+
+        async def scenario():
+            async with ReplayService(tmp_path / "fed") as service:
+                await service.gather(np.zeros((2, 2), dtype=np.int64))
+
+        with pytest.raises(StoreError, match="1-D"):
+            run(scenario())
+
+
+class TestBoundsAndRefresh:
+    def test_out_of_range_fails_only_that_request(self, tmp_path):
+        fed = make_federation(tmp_path / "fed")
+        dense = fed.stream().materialize()
+        total = dense.shape[1]
+
+        async def scenario():
+            async with ReplayService(
+                tmp_path / "fed", max_batch_requests=4
+            ) as service:
+                good = asyncio.ensure_future(
+                    service.gather(np.arange(4), tenant="good")
+                )
+                bad = asyncio.ensure_future(
+                    service.gather(np.asarray([total + 5]), tenant="bad")
+                )
+                done = await asyncio.gather(good, bad, return_exceptions=True)
+                return done, service.stats()
+
+        (good_out, bad_out), stats = run(scenario())
+        np.testing.assert_array_equal(good_out, dense[:, :4, :])
+        assert isinstance(bad_out, StoreError)
+        assert "out of range" in str(bad_out)
+        # The poisoned request never reached the union gather.
+        assert stats.tenant_requests == {"good": 1}
+
+    def test_negative_indices_rejected(self, tmp_path):
+        make_federation(tmp_path / "fed")
+
+        async def scenario():
+            async with ReplayService(tmp_path / "fed") as service:
+                await service.gather(np.asarray([-1, 2]))
+
+        with pytest.raises(StoreError, match="out of range"):
+            run(scenario())
+
+    def test_mutation_triggers_transparent_refresh(self, tmp_path):
+        fed = make_federation(tmp_path / "fed", members=2, samples=8)
+
+        async def scenario():
+            async with ReplayService(tmp_path / "fed") as service:
+                first = await service.gather(np.arange(4))
+                # A writer mutates the federation between batches.
+                writer = FederatedReplayStore.open(tmp_path / "fed")
+                writer.configure(
+                    budget_bytes=(writer.num_samples // 2)
+                    * writer.sample_bytes
+                )
+                writer.rebalance()
+                second = await service.gather(np.arange(4))
+                return first, second, service.stats()
+
+        first, second, stats = run(scenario())
+        assert first.shape == second.shape == (FRAMES, 4, CHANNELS)
+        assert stats.refreshes == 1
+        # Parity against the post-rebalance snapshot.
+        fresh = FederatedReplayStore.open(tmp_path / "fed")
+        dense = fresh.stream().materialize()
+        np.testing.assert_array_equal(second, dense[:, :4, :])
+
+    def test_indices_beyond_refreshed_store_error_cleanly(self, tmp_path):
+        fed = make_federation(tmp_path / "fed", members=2, samples=8)
+        total = fed.num_samples
+
+        async def scenario():
+            async with ReplayService(tmp_path / "fed") as service:
+                writer = FederatedReplayStore.open(tmp_path / "fed")
+                writer.configure(budget_bytes=4 * writer.sample_bytes)
+                writer.rebalance()
+                # Valid against the stale view, out of range after the
+                # refresh: the tenant gets a bounds error, not bad data.
+                await service.gather(np.asarray([total - 1]))
+
+        with pytest.raises(StoreError, match="out of range"):
+            run(scenario())

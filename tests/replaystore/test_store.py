@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import StoreError
 from repro.replaystore import ReplayStore
-from repro.replaystore.store import INDEX_NAME
+from repro.replaystore.store import INDEX_NAME, LOCK_NAME
 
 
 @pytest.fixture
@@ -165,7 +165,8 @@ class TestCompact:
         store.compact(shard_samples=23)
         files = sorted(p.name for p in store.root.glob("*") if p.is_file())
         # New generation's files replace the old ones; no tmp leftovers.
-        assert files == [INDEX_NAME, "shard-g001-00000.bin"]
+        # (The lock file is permanent store infrastructure, not residue.)
+        assert files == [INDEX_NAME, LOCK_NAME, "shard-g001-00000.bin"]
         assert store.generation == 1
 
     def test_generations_never_collide(self, store, raster, labels):
